@@ -1,0 +1,172 @@
+(* Benchmark harness.
+
+   Usage:
+     main.exe                 reproduce every table/figure (full fidelity)
+     main.exe --quick         same, with shorter simulations
+     main.exe fig5.2 fig6.2   reproduce selected artifacts
+     main.exe --csv DIR       additionally write each table as DIR/<name>.csv
+     main.exe micro           run the Bechamel micro-benchmarks
+     main.exe --list          list artifact names *)
+
+module Experiments = Lopc_repro.Experiments
+module Table = Lopc_repro.Table
+
+let artifact_names =
+  [
+    "table3.1"; "fig5.1"; "fig5.2"; "fig5.3"; "table5.3"; "fig6.2";
+    "ablate.arrival"; "ablate.priority"; "ablate.scv"; "ablate.solvers";
+    "shared-memory"; "windowed"; "notification"; "ablate.multiserver"; "gap";
+    "assumptions"; "network"; "exact";
+  ]
+
+(* --- Bechamel micro-benchmarks ------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let params = Lopc.Params.create ~c2:0. ~p:32 ~st:40. ~so:200. () in
+  let cs_params = Lopc.Params.create ~c2:1. ~p:32 ~st:40. ~so:131. () in
+  let general = Lopc.General.homogeneous_all_to_all params ~w:1000. in
+  let stations =
+    Array.init 8 (fun _ -> Lopc_mva.Station.queueing ~demand:16.4 ())
+  in
+  let sim_spec =
+    Lopc_workloads.Pattern.to_spec ~nodes:16
+      ~work:(Lopc_dist.Distribution.Exponential 1000.)
+      ~handler:(Lopc_dist.Distribution.Constant 200.)
+      ~wire:(Lopc_dist.Distribution.Constant 40.)
+      Lopc_workloads.Pattern.All_to_all
+  in
+  let rng = Lopc_prng.Rng.create 1 in
+  let quartic = Lopc.All_to_all.quartic params ~w:1000. in
+  [
+    Test.make ~name:"all_to_all.solve (Brent)"
+      (Staged.stage (fun () -> Lopc.All_to_all.solve params ~w:1000.));
+    Test.make ~name:"all_to_all.solve (iteration)"
+      (Staged.stage (fun () ->
+           Lopc.All_to_all.solve ~solve_method:Lopc.All_to_all.Damped_iteration params
+             ~w:1000.));
+    Test.make ~name:"all_to_all.solve (polynomial)"
+      (Staged.stage (fun () ->
+           Lopc.All_to_all.solve ~solve_method:Lopc.All_to_all.Polynomial_roots params
+             ~w:1000.));
+    Test.make ~name:"client_server.throughput_curve (31 points)"
+      (Staged.stage (fun () -> Lopc.Client_server.throughput_curve cs_params ~w:1000.));
+    Test.make ~name:"general.solve (32 nodes)"
+      (Staged.stage (fun () -> Lopc.General.solve general));
+    Test.make ~name:"exact_mva.solve (N=64, 8 stations)"
+      (Staged.stage (fun () ->
+           Lopc_mva.Exact_mva.solve ~think_time:1211. ~stations ~population:64 ()));
+    Test.make ~name:"simulator (16 nodes, 1000 cycles)"
+      (Staged.stage (fun () ->
+           Lopc_activemsg.Machine.run ~warmup_cycles:200 ~spec:sim_spec ~cycles:1000 ()));
+    Test.make ~name:"rng.float x1000"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             ignore (Lopc_prng.Rng.float rng)
+           done));
+    Test.make ~name:"polynomial.real_roots (quartic)"
+      (Staged.stage (fun () -> Lopc_numerics.Polynomial.real_roots quartic));
+    Test.make ~name:"windowed.solve (window 4)"
+      (Staged.stage (fun () -> Lopc.Windowed.solve ~window:4 params ~w:1000.));
+    Test.make ~name:"gap.solve (g=50)"
+      (Staged.stage (fun () -> Lopc.Gap.solve ~gap:50. params ~w:1000.));
+    Test.make ~name:"torus.solve (4x8)"
+      (Staged.stage
+         (let topo =
+            Lopc_topology.Topology.create ~nodes:32 ~per_hop:10. ~link_time:50. ()
+          in
+          let no_st = Lopc.Params.create ~c2:0. ~p:32 ~st:0. ~so:200. () in
+          fun () -> Lopc.Torus.solve no_st ~topology:topo ~w:1000.));
+    Test.make ~name:"exact CTMC (P=3)"
+      (Staged.stage (fun () ->
+           Lopc_markov.Exact_machine.all_to_all ~p:3 ~w:1000. ~so:200. ~st:40. ()));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  print_endline "## Micro-benchmarks (monotonic clock, ns/run)";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "%-45s %12.1f ns/run\n%!" name ns
+          | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name;
+          ignore raw)
+        results)
+    (micro_tests ())
+
+(* --- reproduction driver -------------------------------------------------- *)
+
+let emit ~csv_dir (name, table) =
+  Format.printf "%a@." Table.pp table;
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (Table.to_csv table);
+    close_out oc;
+    Format.printf "(csv written to %s)@.@." path
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let rec parse_csv = function
+    | "--csv" :: dir :: _ -> Some dir
+    | _ :: rest -> parse_csv rest
+    | [] -> None
+  in
+  let csv_dir = parse_csv args in
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | Some _ | None -> ());
+  let selected =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+    |> List.filter (fun a -> Some a <> csv_dir)
+  in
+  let fidelity = if quick then Experiments.Quick else Experiments.Full in
+  if List.mem "--list" args then
+    List.iter print_endline ("micro" :: artifact_names)
+  else if selected = [] then begin
+    let t0 = Unix.gettimeofday () in
+    List.iter (emit ~csv_dir) (Experiments.all ~fidelity ());
+    Printf.printf "reproduced %d artifacts in %.1fs\n" (List.length artifact_names)
+      (Unix.gettimeofday () -. t0)
+  end
+  else
+    List.iter
+      (fun name ->
+        match name with
+        | "micro" -> run_micro ()
+        | "table3.1" -> emit ~csv_dir (name, Experiments.table3_1 ())
+        | "fig5.1" -> emit ~csv_dir (name, Experiments.fig5_1 ())
+        | "fig5.2" -> emit ~csv_dir (name, Experiments.fig5_2 ~fidelity ())
+        | "fig5.3" -> emit ~csv_dir (name, Experiments.fig5_3 ~fidelity ())
+        | "table5.3" -> emit ~csv_dir (name, Experiments.table5_3 ~fidelity ())
+        | "fig6.2" -> emit ~csv_dir (name, Experiments.fig6_2 ~fidelity ())
+        | "ablate.arrival" -> emit ~csv_dir (name, Experiments.ablation_arrival_theorem ())
+        | "ablate.priority" -> emit ~csv_dir (name, Experiments.ablation_priority ())
+        | "ablate.scv" -> emit ~csv_dir (name, Experiments.ablation_scv_correction ~fidelity ())
+        | "ablate.solvers" -> emit ~csv_dir (name, Experiments.ablation_solvers ())
+        | "shared-memory" -> emit ~csv_dir (name, Experiments.shared_memory_comparison ~fidelity ())
+        | "windowed" -> emit ~csv_dir (name, Experiments.windowed_speedup ~fidelity ())
+        | "notification" -> emit ~csv_dir (name, Experiments.notification_modes ~fidelity ())
+        | "ablate.multiserver" -> emit ~csv_dir (name, Experiments.ablation_multiserver ())
+        | "gap" -> emit ~csv_dir (name, Experiments.gap_study ~fidelity ())
+        | "assumptions" -> emit ~csv_dir (name, Experiments.assumptions_audit ~fidelity ())
+        | "network" -> emit ~csv_dir (name, Experiments.network_contention ~fidelity ())
+        | "exact" -> emit ~csv_dir (name, Experiments.exact_comparison ~fidelity ())
+        | other ->
+          Printf.eprintf "unknown artifact %S; try --list\n" other;
+          exit 1)
+      selected

@@ -1,0 +1,421 @@
+(* Command-line interface to the LoPC model and simulator.
+
+   Subcommands:
+     predict    solve the analytical model for a workload
+     simulate   run the event-driven simulator on the same workload
+     validate   model vs simulator across a workload grid
+     sweep      regenerate a paper artifact (same names as bench/main.exe)
+
+   Examples:
+     lopc_cli predict -p 32 --st 40 --so 200 --c2 0 -w 1000
+     lopc_cli predict --pattern client-server=5 -p 32 --so 131 -w 1000
+     lopc_cli predict --pattern client-server --optimal-servers -p 32 --so 131 -w 1000
+     lopc_cli simulate --pattern hotspot=0:0.3 -p 16 -w 1000 --cycles 50000
+     lopc_cli validate -p 16
+     lopc_cli sweep fig6.2 --csv out/ *)
+
+open Cmdliner
+
+module A = Lopc.All_to_all
+module CS = Lopc.Client_server
+module G = Lopc.General
+module D = Lopc_dist.Distribution
+module Pattern = Lopc_workloads.Pattern
+module Machine = Lopc_activemsg.Machine
+module Metrics = Lopc_activemsg.Metrics
+module Welford = Lopc_stats.Welford
+
+(* --- shared argument definitions ------------------------------------------ *)
+
+let p_arg =
+  Arg.(value & opt int 32 & info [ "p"; "processors" ] ~docv:"P" ~doc:"Number of processors.")
+
+let st_arg =
+  Arg.(value & opt float 40. & info [ "st"; "latency" ] ~docv:"ST" ~doc:"Wire latency (LogP L).")
+
+let so_arg =
+  Arg.(
+    value & opt float 200.
+    & info [ "so"; "handler" ] ~docv:"SO" ~doc:"Handler occupancy (LogP o).")
+
+let c2_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "c2" ] ~docv:"C2" ~doc:"Squared coefficient of variation of handler time.")
+
+let w_arg =
+  Arg.(
+    value & opt float 1000.
+    & info [ "w"; "work" ] ~docv:"W" ~doc:"Average local work between requests.")
+
+let pp_arg =
+  Arg.(
+    value & flag
+    & info [ "protocol-processor" ]
+        ~doc:"Model a shared-memory machine with per-node protocol processors.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let cycles_arg =
+  Arg.(value & opt int 50_000 & info [ "cycles" ] ~doc:"Measured simulation cycles.")
+
+let pattern_arg =
+  Arg.(
+    value
+    & opt string "all-to-all"
+    & info [ "pattern" ] ~docv:"PATTERN"
+        ~doc:
+          "Workload: $(b,all-to-all), $(b,staggered), $(b,client-server=K), \
+           $(b,hotspot=NODE:FRACTION) or $(b,multi-hop=H).")
+
+let parse_pattern ~nodes s =
+  let fail msg = `Error (false, msg) in
+  let split_eq s =
+    match String.index_opt s '=' with
+    | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  match split_eq s with
+  | "all-to-all", None -> `Ok Pattern.All_to_all
+  | "staggered", None -> `Ok Pattern.All_to_all_staggered
+  | "client-server", Some k -> (
+    match int_of_string_opt k with
+    | Some servers -> `Ok (Pattern.Client_server { servers })
+    | None -> fail "client-server=K needs an integer K")
+  | "client-server", None ->
+    (* A placeholder; callers that support --optimal-servers replace it. *)
+    `Ok (Pattern.Client_server { servers = max 1 (nodes / 4) })
+  | "hotspot", Some spec -> (
+    match String.split_on_char ':' spec with
+    | [ node; fraction ] -> (
+      match (int_of_string_opt node, float_of_string_opt fraction) with
+      | Some hot, Some fraction -> `Ok (Pattern.Hotspot { hot; fraction })
+      | _ -> fail "hotspot=NODE:FRACTION needs an int and a float")
+    | _ -> fail "hotspot=NODE:FRACTION needs both fields")
+  | "multi-hop", Some h -> (
+    match int_of_string_opt h with
+    | Some hops -> `Ok (Pattern.Multi_hop { hops })
+    | None -> fail "multi-hop=H needs an integer H")
+  | other, _ -> fail (Printf.sprintf "unknown pattern %S" other)
+
+let params_of ~p ~st ~so ~c2 =
+  try `Ok (Lopc.Params.create ~c2 ~p ~st ~so ())
+  with Invalid_argument msg -> `Error (false, msg)
+
+(* --- predict --------------------------------------------------------------- *)
+
+let print_all_to_all params ~w ~execution =
+  let s = A.solve ~execution params ~w in
+  let mode =
+    match execution with
+    | A.Interrupt -> ""
+    | A.Polling -> ", polling"
+    | A.Protocol_processor -> ", protocol processor"
+  in
+  Format.printf "LoPC all-to-all prediction (%a, W=%g%s)@." Lopc.Params.pp params w mode;
+  Format.printf "  cycle time R        = %.2f cycles@." s.A.r;
+  Format.printf "    thread Rw         = %.2f@." s.A.rw;
+  Format.printf "    network 2 St      = %.2f@." (2. *. params.Lopc.Params.st);
+  Format.printf "    request Rq        = %.2f@." s.A.rq;
+  Format.printf "    reply Ry          = %.2f@." s.A.ry;
+  Format.printf "  contention C        = %.2f (%.1f%% of R, ~%.2f handlers)@."
+    s.A.contention
+    (100. *. s.A.contention /. s.A.r)
+    (s.A.contention /. params.Lopc.Params.so);
+  Format.printf "  bounds (Eq 5.12)    = (%.2f, %.2f)@." (A.lower_bound params ~w)
+    (A.upper_bound params ~w);
+  Format.printf "  LogP (naive)        = %.2f@." (Lopc.Logp.cycle_time params ~w);
+  Format.printf "  throughput X        = %.6f requests/cycle@." s.A.throughput;
+  Format.printf "  Qq=%.4f Qy=%.4f Uq=%.4f Uy=%.4f@." s.A.qq s.A.qy s.A.uq s.A.uy
+
+let print_client_server params ~w ~servers =
+  let s = CS.throughput params ~w ~servers in
+  Format.printf "LoPC client-server prediction (%a, W=%g, Ps=%d)@." Lopc.Params.pp params
+    w servers;
+  Format.printf "  throughput X        = %.6f chunks/cycle@." s.CS.throughput;
+  Format.printf "  client cycle R      = %.2f cycles@." s.CS.cycle_time;
+  Format.printf "  server residence Rs = %.2f (queue %.3f, utilization %.3f)@."
+    s.CS.server_residence s.CS.server_queue s.CS.server_util;
+  let best = CS.optimal_servers params ~w in
+  Format.printf "  optimal allocation  = %d servers (Eq 6.8 real %.2f)@." best
+    (CS.optimal_servers_real params ~w);
+  Format.printf "  LogP bounds         = server %.6f, client %.6f@."
+    (Lopc.Logp.server_bound params ~servers)
+    (Lopc.Logp.client_bound params ~w ~clients:(params.Lopc.Params.p - servers))
+
+let print_general params ~w ~protocol_processor pattern =
+  let net = Pattern.to_general ~protocol_processor params ~w pattern in
+  let s = G.solve net in
+  Format.printf "LoPC general (Appendix A) prediction: %s@." (Pattern.description pattern);
+  Format.printf "  system throughput   = %.6f requests/cycle@." s.G.system_throughput;
+  Array.iteri
+    (fun k (ns : G.node_solution) ->
+      let cycle = s.G.cycle_times.(k) in
+      if Float.is_nan cycle then
+        Format.printf "  node %2d (server): Qq=%.3f Uq=%.3f@." k ns.G.qq ns.G.uq
+      else
+        Format.printf "  node %2d: R=%.1f Qq=%.3f Uq=%.3f@." k cycle ns.G.qq ns.G.uq)
+    s.G.node_solutions
+
+let polling_arg =
+  Arg.(
+    value & flag
+    & info [ "polling" ]
+        ~doc:"Model polling-based message notification (LogP's CM-5 assumption).")
+
+let predict_cmd =
+  let run p st so c2 w pp polling pattern optimal =
+    match params_of ~p ~st ~so ~c2 with
+    | `Error _ as e -> e
+    | `Ok params -> (
+      match parse_pattern ~nodes:p pattern with
+      | `Error _ as e -> e
+      | `Ok pat -> (
+        try
+          (match pat with
+          | Pattern.All_to_all | Pattern.All_to_all_staggered ->
+            let execution =
+              if pp then A.Protocol_processor
+              else if polling then A.Polling
+              else A.Interrupt
+            in
+            print_all_to_all params ~w ~execution
+          | Pattern.Client_server { servers } ->
+            let servers = if optimal then CS.optimal_servers params ~w else servers in
+            print_client_server params ~w ~servers
+          | Pattern.Hotspot _ | Pattern.Multi_hop _ ->
+            print_general params ~w ~protocol_processor:pp pat);
+          `Ok ()
+        with Invalid_argument msg -> `Error (false, msg)))
+  in
+  let optimal_arg =
+    Arg.(
+      value & flag
+      & info [ "optimal-servers" ]
+          ~doc:"For client-server: use the Eq 6.8 optimal allocation.")
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Solve the LoPC model analytically")
+    Term.(
+      ret
+        (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
+        $ pattern_arg $ optimal_arg))
+
+(* --- simulate --------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run p st so c2 w pp polling pattern seed cycles =
+    match parse_pattern ~nodes:p pattern with
+    | `Error _ as e -> e
+    | `Ok pat -> (
+      try
+        let spec =
+          Pattern.to_spec ~protocol_processor:pp ~polling ~nodes:p
+            ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+            ~handler:(D.of_mean_scv ~mean:so ~scv:c2)
+            ~wire:(D.Constant st) pat
+        in
+        let r = Machine.run ~seed ~spec ~cycles () in
+        let m = r.Machine.metrics in
+        Format.printf "simulated %s: P=%d W=%g So=%g St=%g C2=%g seed=%d@."
+          (Pattern.description pat) p w so st c2 seed;
+        Format.printf "  measured cycles     = %d (%d events, final time %.0f)@."
+          m.Metrics.cycles r.Machine.events r.Machine.final_time;
+        Format.printf "  mean cycle time R   = %.2f +- %.2f (95%%)@."
+          (Metrics.mean_response m)
+          (Welford.confidence_interval m.Metrics.response);
+        Format.printf "    Rw=%.2f Rq=%.2f Ry=%.2f wire=%.2f@."
+          (Welford.mean m.Metrics.rw) (Welford.mean m.Metrics.rq)
+          (Welford.mean m.Metrics.ry)
+          (Welford.mean m.Metrics.wire_time);
+        Format.printf "  throughput X        = %.6f cycles/cycle@." (Metrics.throughput m);
+        Format.printf "  Qq=%.4f Qy=%.4f Uq=%.4f Uy=%.4f Uthread=%.4f@."
+          (Metrics.avg_request_queue m) (Metrics.avg_reply_queue m)
+          (Metrics.avg_request_util m) (Metrics.avg_reply_util m)
+          (Metrics.avg_thread_util m);
+        Format.printf "  R percentiles       = p50 %.1f, p90 %.1f, p95 %.1f, p99 %.1f@."
+          (Metrics.response_percentile m 0.5)
+          (Metrics.response_percentile m 0.9)
+          (Metrics.response_percentile m 0.95)
+          (Metrics.response_percentile m 0.99);
+        `Ok ()
+      with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the event-driven simulator")
+    Term.(
+      ret
+        (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
+        $ pattern_arg $ seed_arg $ cycles_arg))
+
+(* --- validate ---------------------------------------------------------------- *)
+
+let validate_cmd =
+  let run p seed cycles =
+    let cases =
+      [
+        ("all-to-all W=0 C2=0", Pattern.All_to_all, 0., 0.);
+        ("all-to-all W=1000 C2=0", Pattern.All_to_all, 1000., 0.);
+        ("all-to-all W=1000 C2=1", Pattern.All_to_all, 1000., 1.);
+        ("client-server Ps=P/8", Pattern.Client_server { servers = max 1 (p / 8) }, 1000., 1.);
+        ("hotspot 30%", Pattern.Hotspot { hot = 0; fraction = 0.3 }, 1000., 1.);
+        ("multi-hop 2", Pattern.Multi_hop { hops = 2 }, 1000., 1.);
+      ]
+    in
+    Format.printf "model vs simulator, P=%d, So=200, St=40, %d cycles/case@.@." p cycles;
+    Format.printf "%-28s %12s %12s %8s@." "case" "model X" "sim X" "error";
+    List.iter
+      (fun (name, pat, w, c2) ->
+        let params = Lopc.Params.create ~c2 ~p ~st:40. ~so:200. () in
+        let model = (G.solve (Pattern.to_general params ~w pat)).G.system_throughput in
+        let spec =
+          Pattern.to_spec ~nodes:p ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+            ~handler:(D.of_mean_scv ~mean:200. ~scv:c2) ~wire:(D.Constant 40.) pat
+        in
+        let sim =
+          Metrics.throughput (Machine.run ~seed ~spec ~cycles ()).Machine.metrics
+        in
+        Format.printf "%-28s %12.6f %12.6f %+7.2f%%@." name model sim
+          (100. *. (model -. sim) /. sim))
+      cases;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check the model against the simulator on a workload grid")
+    Term.(ret (const run $ p_arg $ seed_arg $ cycles_arg))
+
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let count_arg =
+    Arg.(value & opt int 16 & info [ "count" ] ~doc:"Cycles to trace.")
+  in
+  let run p st so c2 w pp polling pattern seed count =
+    match parse_pattern ~nodes:p pattern with
+    | `Error _ as e -> e
+    | `Ok pat -> (
+      try
+        let spec =
+          Pattern.to_spec ~protocol_processor:pp ~polling ~nodes:p
+            ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+            ~handler:(D.of_mean_scv ~mean:so ~scv:c2)
+            ~wire:(D.Constant st) pat
+        in
+        let collector, observe = Lopc_activemsg.Trace.collector ~limit:count () in
+        ignore
+          (Machine.run ~seed ~warmup_cycles:(max 100 (count * 4)) ~on_cycle:observe
+             ~spec ~cycles:count ());
+        Format.printf "%a@." (Lopc_activemsg.Trace.pp_timeline ~width:60)
+          (Lopc_activemsg.Trace.reports collector);
+        `Ok ()
+      with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print ASCII timelines of simulated cycles")
+    Term.(
+      ret
+        (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
+        $ pattern_arg $ seed_arg $ count_arg))
+
+(* --- calibrate ----------------------------------------------------------------- *)
+
+let calibrate_cmd =
+  let points_arg =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "point" ] ~docv:"W:R"
+          ~doc:"A measurement: work per request and measured cycle time. Repeatable.")
+  in
+  let fixed_st_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fixed-st" ] ~docv:"ST"
+          ~doc:"Pin the wire latency (e.g. measured by ping-pong) and fit only So.")
+  in
+  let run p c2 points fixed_st =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ w; r ] -> (
+        match (float_of_string_opt w, float_of_string_opt r) with
+        | Some w, Some r -> Ok (w, r)
+        | _ -> Error s)
+      | _ -> Error s
+    in
+    let parsed = List.map parse points in
+    match List.find_opt Result.is_error parsed with
+    | Some (Error bad) -> `Error (false, Printf.sprintf "malformed --point %S (want W:R)" bad)
+    | Some (Ok _) | None -> (
+      let observations = List.filter_map Result.to_option parsed in
+      try
+        let f = Lopc.Calibrate.fit ~c2 ?fixed_st ~p ~observations () in
+        Format.printf "fitted parameters: %a@." Lopc.Params.pp f.Lopc.Calibrate.params;
+        Format.printf "  rms residual %.2f cycles (%.2f%% of signal)@."
+          f.Lopc.Calibrate.residual
+          (100. *. f.Lopc.Calibrate.relative_residual);
+        Format.printf "  %10s %12s %12s@." "W" "measured" "fitted";
+        List.iter
+          (fun (w, measured, fitted) ->
+            Format.printf "  %10g %12.1f %12.1f@." w measured fitted)
+          (Lopc.Calibrate.predictions f ~observations);
+        (match fixed_st with
+        | Some _ -> ()
+        | None ->
+          Format.printf
+            "  note: St and So are nearly degenerate from R(W) alone; pass
+            \  --fixed-st with a ping-pong-measured latency to identify So.@.");
+        `Ok ()
+      with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Fit St and So to measured all-to-all cycle times")
+    Term.(ret (const run $ p_arg $ c2_arg $ points_arg $ fixed_st_arg))
+
+(* --- sweep ------------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let artifact_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARTIFACT" ~doc:"Artifact name, e.g. fig5.2 (see bench --list).")
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Shorter simulations.") in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc:"Write CSV here.")
+  in
+  let run artifact quick csv =
+    let fidelity = if quick then Lopc_repro.Experiments.Quick else Lopc_repro.Experiments.Full in
+    let all = Lopc_repro.Experiments.all ~fidelity () in
+    match List.assoc_opt artifact all with
+    | None -> `Error (false, Printf.sprintf "unknown artifact %S" artifact)
+    | Some table ->
+      Format.printf "%a@." Lopc_repro.Table.pp table;
+      (match csv with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir (artifact ^ ".csv") in
+        let oc = open_out path in
+        output_string oc (Lopc_repro.Table.to_csv table);
+        close_out oc;
+        Format.printf "(csv written to %s)@." path);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Regenerate a paper table or figure")
+    Term.(ret (const run $ artifact_arg $ quick_arg $ csv_arg))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "lopc_cli" ~version:"1.0.0"
+      ~doc:"LoPC: contention-aware cost modeling of parallel algorithms"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ predict_cmd; simulate_cmd; validate_cmd; sweep_cmd; trace_cmd; calibrate_cmd ]))

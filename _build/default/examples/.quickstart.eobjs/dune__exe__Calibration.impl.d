@@ -1,0 +1,1 @@
+examples/calibration.ml: List Lopc Lopc_activemsg Lopc_dist Printf

@@ -1,0 +1,1 @@
+examples/cm5_staggering.ml: List Lopc Lopc_activemsg Lopc_dist Printf

@@ -1,0 +1,1 @@
+examples/cm5_staggering.mli:

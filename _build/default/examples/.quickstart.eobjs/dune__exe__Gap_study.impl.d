@@ -1,0 +1,1 @@
+examples/gap_study.ml: List Lopc Lopc_activemsg Lopc_dist Printf

@@ -1,0 +1,1 @@
+examples/gap_study.mli:

@@ -1,0 +1,1 @@
+examples/hotspot_analysis.ml: Array List Lopc Lopc_activemsg Lopc_dist Lopc_workloads Printf

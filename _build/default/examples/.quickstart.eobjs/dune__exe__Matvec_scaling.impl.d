@@ -1,0 +1,1 @@
+examples/matvec_scaling.ml: List Lopc Lopc_workloads Printf

@@ -1,0 +1,1 @@
+examples/nonblocking_window.ml: Float List Lopc Lopc_activemsg Lopc_dist Printf

@@ -1,0 +1,1 @@
+examples/nonblocking_window.mli:

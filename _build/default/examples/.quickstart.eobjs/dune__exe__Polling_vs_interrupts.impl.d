@@ -1,0 +1,1 @@
+examples/polling_vs_interrupts.ml: List Lopc Lopc_activemsg Lopc_dist Lopc_numerics Printf

@@ -1,0 +1,1 @@
+examples/polling_vs_interrupts.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Lopc Lopc_activemsg Lopc_dist Lopc_workloads Printf

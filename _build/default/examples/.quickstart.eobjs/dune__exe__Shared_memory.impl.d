@@ -1,0 +1,1 @@
+examples/shared_memory.ml: List Lopc Lopc_activemsg Lopc_dist Lopc_workloads Printf

@@ -1,0 +1,1 @@
+examples/workpile_tuning.ml: List Lopc Lopc_activemsg Lopc_dist Lopc_workloads Printf

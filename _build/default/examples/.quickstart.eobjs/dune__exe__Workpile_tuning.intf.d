@@ -1,0 +1,1 @@
+examples/workpile_tuning.mli:

@@ -1,0 +1,48 @@
+(* Non-blocking requests (paper §7 future work).
+
+   Blocking requests idle the thread for the full round trip. Letting a
+   thread keep several requests outstanding ("windowed" sends, in the
+   style of Heidelberger & Trivedi's asynchronous-task models) overlaps
+   communication with computation — but the gain saturates quickly,
+   because every cycle still consumes W + 2·So of the node's processor no
+   matter how deep the window. This example sweeps the window depth in
+   both the extended model and the simulator.
+
+   Run with:  dune exec examples/nonblocking_window.exe *)
+
+module W = Lopc.Windowed
+module D = Lopc_dist.Distribution
+module Spec = Lopc_activemsg.Spec
+module Machine = Lopc_activemsg.Machine
+module Metrics = Lopc_activemsg.Metrics
+
+let () =
+  let p = 32 and wk = 1000. and so = 200. and st = 40. in
+  let params = Lopc.Params.create ~c2:1. ~p ~st ~so () in
+  let saturation = W.saturation_rate params ~w:wk in
+  Printf.printf "windowed all-to-all on P=%d, W=%.0f, So=%.0f, St=%.0f\n\n" p wk so st;
+  Printf.printf "processor ceiling: 1/(W + 2 So) = %.6f completions/cycle/node\n\n"
+    saturation;
+  Printf.printf "%7s  %13s  %13s  %9s  %10s\n" "window" "model X/node" "sim X/node"
+    "speedup" "proc util";
+  List.iter
+    (fun window ->
+      let model = W.solve ~window params ~w:wk in
+      let spec =
+        Spec.all_to_all ~window ~nodes:p ~work:(D.Exponential wk)
+          ~handler:(D.Exponential so) ~wire:(D.Constant st) ()
+      in
+      let sim =
+        Metrics.throughput (Machine.run ~spec ~cycles:40_000 ()).Machine.metrics
+        /. Float.of_int p
+      in
+      Printf.printf "%7d  %13.6f  %13.6f  %8.2fx  %10.3f\n" window model.W.node_rate sim
+        (model.W.node_rate /. (W.solve ~window:1 params ~w:wk).W.node_rate)
+        model.W.processor_util)
+    [ 1; 2; 3; 4; 6; 8 ];
+  Printf.printf
+    "\nTwo outstanding requests already capture most of the benefit; beyond\n\
+     window 3 the node's processor — not the round trip — is the\n\
+     bottleneck, so deeper windows buy almost nothing. The same analysis\n\
+     explains why the paper models blocking requests first: the blocking\n\
+     penalty is one round trip minus the overlap the window provides.\n"

@@ -1,0 +1,44 @@
+(* Shared memory vs message passing (paper §5.1 and §7).
+
+   A shared-memory machine can be seen as a message-passing system whose
+   requests are served by a dedicated protocol processor at each node:
+   handlers still queue against each other, but they no longer interrupt
+   the compute thread, so Rw = W. This example quantifies how much the
+   interrupt-driven design costs across grain sizes — the
+   architectural-tradeoff study the paper's conclusion proposes.
+
+   Run with:  dune exec examples/shared_memory.exe *)
+
+module A = Lopc.All_to_all
+module Pattern = Lopc_workloads.Pattern
+module D = Lopc_dist.Distribution
+module Machine = Lopc_activemsg.Machine
+module Metrics = Lopc_activemsg.Metrics
+
+let simulate ~protocol_processor ~w =
+  let spec =
+    Pattern.to_spec ~protocol_processor ~nodes:32 ~work:(D.Exponential w)
+      ~handler:(D.Constant 200.) ~wire:(D.Constant 40.) Pattern.All_to_all
+  in
+  Metrics.mean_response (Machine.run ~spec ~cycles:25_000 ()).Machine.metrics
+
+let () =
+  let params = Lopc.Params.create ~c2:0. ~p:32 ~st:40. ~so:200. () in
+  Printf.printf "all-to-all on P=32, So=200, St=40, C2=0\n\n";
+  Printf.printf "%6s  %14s  %14s  %14s  %14s  %9s\n" "W" "interrupt R" "(sim)"
+    "protocol R" "(sim)" "penalty";
+  List.iter
+    (fun w ->
+      let mp = (A.solve params ~w).A.r in
+      let pp = (A.solve ~execution:A.Protocol_processor params ~w).A.r in
+      let sim_mp = simulate ~protocol_processor:false ~w in
+      let sim_pp = simulate ~protocol_processor:true ~w in
+      Printf.printf "%6.0f  %14.1f  %14.1f  %14.1f  %14.1f  %8.1f%%\n" w mp sim_mp pp
+        sim_pp
+        (100. *. (mp -. pp) /. pp))
+    [ 2.; 32.; 128.; 512.; 2048. ];
+  Printf.printf
+    "\nThe protocol processor removes the thread-interference term of the\n\
+     cycle (Rw = W); the remaining contention is handler-on-handler\n\
+     queueing. The penalty of interrupt-driven handling is largest for\n\
+     fine-grain communication and fades as W grows.\n"

@@ -1,0 +1,1 @@
+lib/activemsg/machine.ml: Array Float List Lopc_dist Lopc_eventsim Lopc_prng Lopc_stats Lopc_topology Metrics Printf Queue Spec

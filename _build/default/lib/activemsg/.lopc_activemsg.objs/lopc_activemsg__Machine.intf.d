@@ -1,0 +1,1 @@
+lib/activemsg/machine.mli: Metrics Spec

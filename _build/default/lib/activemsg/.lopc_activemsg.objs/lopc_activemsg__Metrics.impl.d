@@ -1,0 +1,1 @@
+lib/activemsg/metrics.ml: Array Float List Lopc_stats

@@ -1,0 +1,1 @@
+lib/activemsg/metrics.mli: Lopc_stats

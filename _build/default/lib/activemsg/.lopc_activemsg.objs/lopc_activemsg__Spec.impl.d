@@ -1,0 +1,1 @@
+lib/activemsg/spec.ml: Array Float Format Fun List Lopc_dist Lopc_prng Lopc_topology

@@ -1,0 +1,1 @@
+lib/activemsg/spec.mli: Lopc_dist Lopc_prng Lopc_topology

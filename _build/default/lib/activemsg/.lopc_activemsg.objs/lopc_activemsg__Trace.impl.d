@@ -1,0 +1,1 @@
+lib/activemsg/trace.ml: Float Format List Machine String

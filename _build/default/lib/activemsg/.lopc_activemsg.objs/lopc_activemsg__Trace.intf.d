@@ -1,0 +1,1 @@
+lib/activemsg/trace.mli: Format Machine

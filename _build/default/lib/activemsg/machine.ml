@@ -1,0 +1,489 @@
+module Topology = Lopc_topology.Topology
+
+module Rng = Lopc_prng.Rng
+module Distribution = Lopc_dist.Distribution
+module Engine = Lopc_eventsim.Engine
+module Time_average = Lopc_stats.Time_average
+module Welford = Lopc_stats.Welford
+
+type result = { metrics : Metrics.t; final_time : float; events : int }
+
+type cycle_report = {
+  origin : int;
+  started : float;
+  sent : float;
+  completed : float;
+  request_residence : float;
+  reply_residence : float;
+  wire : float;
+  measured : bool;
+}
+
+(* One compute/request cycle of a thread, from the instant the thread
+   (re)starts local work to the completion of its reply handler. *)
+type cycle = {
+  origin : int;
+  t_start : float;
+  mutable t_sent : float;
+  mutable rq_total : float;
+  mutable wire_total : float;
+}
+
+type msg_kind = Request | Reply
+
+type msg = {
+  kind : msg_kind;
+  cycle : cycle;
+  mutable remaining_hops : int list;  (* hops still to visit after the current one *)
+  mutable arrived : float;            (* arrival time at the current node *)
+}
+
+type thread_state =
+  | Unstarted
+  | Running of { handle : Engine.handle; finish : float }
+  | Suspended of { remaining : float }  (* preempted, or waiting for queue drain *)
+  | Blocked
+
+type node = {
+  id : int;
+  rng : Rng.t;
+  thread : Spec.thread option;
+  mutable tstate : thread_state;
+  mutable current_cycle : cycle option;
+  queue : msg Queue.t;
+  mutable busy : bool;  (* handler resource (CPU or protocol processor) *)
+  mutable outstanding : int;  (* requests in flight (windowed sends) *)
+  (* FIFO network interfaces, serialized by timestamp: a message passes
+     each NI for [gap] cycles; the next message waits for the NI. *)
+  mutable send_ni_free_at : float;
+  mutable recv_ni_free_at : float;
+  mutable cycles_done : int;   (* completed cycles (for barrier pacing) *)
+  mutable parked : bool;       (* waiting at a barrier *)
+}
+
+type machine = {
+  spec : Spec.t;
+  engine : Engine.t;
+  nodes : node array;
+  metrics : Metrics.t;
+  mutable measuring : bool;
+  mutable completed_total : int;   (* completions since the start of time *)
+  mutable completed_measured : int;
+  thread_count : int;
+  mutable parked_count : int;      (* threads currently at the barrier *)
+  on_cycle : (cycle_report -> unit) option;
+  (* Torus link bookkeeping: links.(node).(direction) is the time at which
+     that outgoing link becomes free (timestamp-serialized FIFO). *)
+  links : float array array;
+}
+
+let check_hop m hop =
+  if hop < 0 || hop >= m.spec.Spec.nodes then
+    invalid_arg
+      (Printf.sprintf "Machine: route returned node %d outside [0, %d)" hop
+         m.spec.Spec.nodes)
+
+(* --- signal helpers ----------------------------------------------------- *)
+
+let set_thread_running m node v =
+  Time_average.update m.metrics.Metrics.busy_thread.(node.id) ~now:(Engine.now m.engine) v
+
+let queue_signal m node kind delta =
+  let arr =
+    match kind with
+    | Request -> m.metrics.Metrics.request_queue
+    | Reply -> m.metrics.Metrics.reply_queue
+  in
+  let ta = arr.(node.id) in
+  Time_average.update ta ~now:(Engine.now m.engine) (Time_average.value ta +. delta)
+
+let busy_signal m node kind v =
+  let arr =
+    match kind with
+    | Request -> m.metrics.Metrics.busy_request
+    | Reply -> m.metrics.Metrics.busy_reply
+  in
+  Time_average.update arr.(node.id) ~now:(Engine.now m.engine) v
+
+(* --- thread lifecycle ---------------------------------------------------- *)
+
+let rec start_thread_work m node remaining =
+  let now = Engine.now m.engine in
+  let handle = Engine.schedule m.engine ~delay:remaining (fun _ -> thread_done m node) in
+  node.tstate <- Running { handle; finish = now +. remaining };
+  set_thread_running m node 1.
+
+(* The thread may (re)start only when no handler holds the CPU; with a
+   protocol processor the CPU is always available to the thread. *)
+and resume_thread_if_possible m node =
+  match node.tstate with
+  | Suspended { remaining } ->
+    if m.spec.Spec.protocol_processor || not node.busy then
+      start_thread_work m node remaining
+  | Unstarted | Running _ | Blocked -> ()
+
+(* Begin a new compute/request cycle: sample the work and leave the thread
+   Suspended; the caller's dispatch tail decides when it actually runs. *)
+and begin_cycle m node =
+  match node.thread with
+  | None -> ()
+  | Some thread ->
+    let now = Engine.now m.engine in
+    let cycle =
+      { origin = node.id; t_start = now; t_sent = Float.nan; rq_total = 0.; wire_total = 0. }
+    in
+    node.current_cycle <- Some cycle;
+    let w = Distribution.sample thread.Spec.work node.rng in
+    node.tstate <- Suspended { remaining = w }
+
+(* Work quantum complete: issue the blocking request. *)
+and thread_done m node =
+  let now = Engine.now m.engine in
+  set_thread_running m node 0.;
+  let thread =
+    match node.thread with
+    | Some t -> t
+    | None -> assert false
+  in
+  let cycle =
+    match node.current_cycle with
+    | Some c -> c
+    | None -> assert false
+  in
+  cycle.t_sent <- now;
+  node.outstanding <- node.outstanding + 1;
+  (* A windowed (non-blocking) thread keeps computing until the window is
+     full; a blocking thread (window 1) always waits here. *)
+  if node.outstanding < thread.Spec.window then begin_cycle m node
+  else node.tstate <- Blocked;
+  let hops =
+    match thread.Spec.route node.rng with
+    | [] -> invalid_arg "Machine: route returned an empty hop list"
+    | hops -> hops
+  in
+  List.iter (check_hop m) hops;
+  let first, rest = (List.hd hops, List.tl hops) in
+  send m ~src:node ~cycle ~kind:Request ~remaining:rest ~dest:first;
+  (* Request-issue is a poll point: in polling mode any handlers that
+     queued up during the work quantum run now, before the thread may
+     continue with its next quantum. *)
+  try_dispatch m node;
+  resume_thread_if_possible m node
+
+(* --- message transport and handler execution ----------------------------- *)
+
+and send m ~src ~cycle ~kind ~remaining ~dest =
+  let now = Engine.now m.engine in
+  let msg = { kind; cycle; remaining_hops = remaining; arrived = Float.nan } in
+  let gap = m.spec.Spec.gap in
+  (* Injection waits for the sender's NI, occupies it for [gap], then the
+     interconnect follows. With gap = 0 this reduces to the plain wire. *)
+  let injected =
+    if gap = 0. then now
+    else begin
+      let start = Float.max now src.send_ni_free_at in
+      src.send_ni_free_at <- start +. gap;
+      start +. gap
+    end
+  in
+  match m.spec.Spec.topology with
+  | None ->
+    let st = Distribution.sample m.spec.Spec.wire (m.nodes.(dest)).rng in
+    cycle.wire_total <- cycle.wire_total +. st;
+    ignore
+      (Engine.schedule_at m.engine ~time:(injected +. st) (fun _ ->
+           wire_arrival m m.nodes.(dest) msg))
+  | Some topo ->
+    let path = Topology.route topo ~src:src.id ~dst:dest in
+    traverse m ~topo ~msg ~dest ~injected_at:injected ~depart:injected path
+
+(* Hop-by-hop torus traversal: each link is held for [link_time] (waiting
+   if busy), each hop then adds [per_hop] propagation. *)
+and traverse m ~topo ~msg ~dest ~injected_at ~depart path =
+  match path with
+  | [] ->
+    msg.cycle.wire_total <- msg.cycle.wire_total +. (depart -. injected_at);
+    ignore
+      (Engine.schedule_at m.engine ~time:depart (fun _ ->
+           wire_arrival m m.nodes.(dest) msg))
+  | (node, direction) :: rest ->
+    let free = m.links.(node) in
+    let slot = Topology.direction_index direction in
+    let start = Float.max depart free.(slot) in
+    free.(slot) <- start +. topo.Topology.link_time;
+    let next = start +. topo.Topology.link_time +. topo.Topology.per_hop in
+    if rest = [] then traverse m ~topo ~msg ~dest ~injected_at ~depart:next []
+    else
+      ignore
+        (Engine.schedule_at m.engine ~time:next (fun _ ->
+             traverse m ~topo ~msg ~dest ~injected_at ~depart:next rest))
+
+(* The message reached the destination's NI; delivery into the handler
+   queue costs another [gap] of (possibly queued) NI time. *)
+and wire_arrival m node msg =
+  let gap = m.spec.Spec.gap in
+  if gap = 0. then arrival m node msg
+  else begin
+    let now = Engine.now m.engine in
+    let start = Float.max now node.recv_ni_free_at in
+    node.recv_ni_free_at <- start +. gap;
+    ignore
+      (Engine.schedule_at m.engine ~time:(start +. gap) (fun _ -> arrival m node msg))
+  end
+
+and arrival m node msg =
+  msg.arrived <- Engine.now m.engine;
+  queue_signal m node msg.kind 1.;
+  if m.measuring then begin
+    (* Backlog this message finds: waiting messages plus any in service. *)
+    let found = Queue.length node.queue + if node.busy then 1 else 0 in
+    Welford.add m.metrics.Metrics.backlog_at_arrival (Float.of_int found);
+    let depth = found + 1 in
+    if depth > m.metrics.Metrics.max_backlog then
+      m.metrics.Metrics.max_backlog <- depth
+  end;
+  Queue.push msg node.queue;
+  try_dispatch m node
+
+(* Start the next queued handler if the handler resource is idle,
+   preempting the compute thread in message-passing mode. *)
+and try_dispatch m node =
+  let thread_running = match node.tstate with Running _ -> true | _ -> false in
+  if
+    (not node.busy)
+    && (not (Queue.is_empty node.queue))
+    (* Polling: a running thread is never interrupted — queued messages
+       wait for the next poll point (request issue or blocking). *)
+    && not (m.spec.Spec.polling && thread_running)
+  then begin
+    let now = Engine.now m.engine in
+    if not m.spec.Spec.protocol_processor then begin
+      match node.tstate with
+      | Running { handle; finish } ->
+        Engine.cancel handle;
+        node.tstate <- Suspended { remaining = finish -. now };
+        set_thread_running m node 0.
+      | Unstarted | Suspended _ | Blocked -> ()
+    end;
+    let msg = Queue.pop node.queue in
+    node.busy <- true;
+    busy_signal m node msg.kind 1.;
+    let dist =
+      match msg.kind with
+      | Request -> m.spec.Spec.handler
+      | Reply -> m.spec.Spec.reply_handler
+    in
+    let cost = Distribution.sample dist node.rng in
+    if m.measuring then Welford.add m.metrics.Metrics.handler_service cost;
+    ignore (Engine.schedule m.engine ~delay:cost (fun _ -> handler_done m node msg))
+  end
+
+and handler_done m node msg =
+  let now = Engine.now m.engine in
+  node.busy <- false;
+  busy_signal m node msg.kind 0.;
+  queue_signal m node msg.kind (-1.);
+  (match msg.kind with
+  | Request -> begin
+    msg.cycle.rq_total <- msg.cycle.rq_total +. (now -. msg.arrived);
+    match msg.remaining_hops with
+    | next :: rest -> send m ~src:node ~cycle:msg.cycle ~kind:Request ~remaining:rest ~dest:next
+    | [] -> send m ~src:node ~cycle:msg.cycle ~kind:Reply ~remaining:[] ~dest:msg.cycle.origin
+  end
+  | Reply -> complete_cycle m node msg);
+  try_dispatch m node;
+  (* With a protocol processor the thread runs regardless of handler
+     activity; on a shared CPU it may only resume once the queue drained. *)
+  resume_thread_if_possible m node
+
+(* Reply handler finished at the origin: close the books on this cycle and
+   start the next one. *)
+and complete_cycle m node msg =
+  let now = Engine.now m.engine in
+  let cycle = msg.cycle in
+  assert (cycle.origin = node.id);
+  m.completed_total <- m.completed_total + 1;
+  node.outstanding <- node.outstanding - 1;
+  (match m.on_cycle with
+  | None -> ()
+  | Some observer ->
+    observer
+      {
+        origin = node.id;
+        started = cycle.t_start;
+        sent = cycle.t_sent;
+        completed = now;
+        request_residence = cycle.rq_total;
+        reply_residence = now -. msg.arrived;
+        wire = cycle.wire_total;
+        measured = m.measuring;
+      });
+  if m.measuring then begin
+    m.metrics.Metrics.measure_end <- now;
+    m.completed_measured <- m.completed_measured + 1;
+    m.metrics.Metrics.cycles <- m.metrics.Metrics.cycles + 1;
+    if cycle.t_start >= m.metrics.Metrics.measure_start then begin
+      Welford.add m.metrics.Metrics.response (now -. cycle.t_start);
+      Welford.add m.metrics.Metrics.rw (cycle.t_sent -. cycle.t_start);
+      Welford.add m.metrics.Metrics.rq cycle.rq_total;
+      Welford.add m.metrics.Metrics.ry (now -. msg.arrived);
+      Welford.add m.metrics.Metrics.wire_time cycle.wire_total;
+      Welford.add m.metrics.Metrics.latency (now -. cycle.t_sent);
+      List.iter
+        (fun (_, est) -> Lopc_stats.P2_quantile.add est (now -. cycle.t_start))
+        m.metrics.Metrics.response_quantiles
+    end
+  end;
+  node.cycles_done <- node.cycles_done + 1;
+  (* A blocked thread starts its next cycle now; a windowed thread that is
+     still computing just sees its window open up. A barrier interval
+     boundary parks the thread until every thread arrives. *)
+  match node.tstate with
+  | Blocked -> begin
+    match m.spec.Spec.barrier with
+    | Some { Spec.interval; cost } when node.cycles_done mod interval = 0 ->
+      node.parked <- true;
+      m.parked_count <- m.parked_count + 1;
+      if m.parked_count = m.thread_count then
+        (* Last thread arrived: release everyone after the barrier cost. *)
+        ignore
+          (Engine.schedule m.engine ~delay:cost (fun _ ->
+               m.parked_count <- 0;
+               Array.iter
+                 (fun n ->
+                   if n.parked then begin
+                     n.parked <- false;
+                     begin_cycle m n;
+                     resume_thread_if_possible m n
+                   end)
+                 m.nodes))
+    | Some _ | None -> begin_cycle m node
+  end
+  | Unstarted | Running _ | Suspended _ -> ()
+
+(* --- driver -------------------------------------------------------------- *)
+
+(* Build the machine, schedule the initial cycles and run the warm-up
+   phase; returns the machine plus a guarded single-step function. *)
+let prepare ?on_cycle ~seed ~warmup ~max_events ~spec () =
+  (match Spec.validate spec with
+  | Ok _ -> ()
+  | Error reason -> invalid_arg ("Machine: " ^ reason));
+  let engine = Engine.create () in
+  let master = Rng.create seed in
+  let metrics = Metrics.create ~nodes:spec.Spec.nodes in
+  let nodes =
+    Array.init spec.Spec.nodes (fun id ->
+        {
+          id;
+          rng = Rng.split master;
+          thread = spec.Spec.threads.(id);
+          tstate = Unstarted;
+          current_cycle = None;
+          queue = Queue.create ();
+          busy = false;
+          outstanding = 0;
+          send_ni_free_at = 0.;
+          recv_ni_free_at = 0.;
+          cycles_done = 0;
+          parked = false;
+        })
+  in
+  let thread_count =
+    Array.fold_left (fun acc n -> if n.thread = None then acc else acc + 1) 0 nodes
+  in
+  let m =
+    { spec; engine; nodes; metrics; measuring = false; completed_total = 0;
+      completed_measured = 0; thread_count; parked_count = 0; on_cycle;
+      links = Array.init spec.Spec.nodes (fun _ -> Array.make 4 0.) }
+  in
+  if thread_count = 0 then invalid_arg "Machine: no node runs a compute thread";
+  (* Kick off every thread's first cycle (optionally staggered). *)
+  Array.iter
+    (fun node ->
+      match node.thread with
+      | None -> ()
+      | Some _ ->
+        let delay =
+          match spec.Spec.initial_delay with None -> 0. | Some f -> f node.id
+        in
+        if delay < 0. then invalid_arg "Machine: negative initial delay";
+        ignore
+          (Engine.schedule engine ~delay (fun _ ->
+               begin_cycle m node;
+               resume_thread_if_possible m node)))
+    nodes;
+  (* Phase 1: warm-up. *)
+  let steps = ref 0 in
+  let step_guarded () =
+    incr steps;
+    if !steps > max_events then
+      invalid_arg "Machine: event budget exhausted (likely a runaway configuration)";
+    Engine.step engine
+  in
+  while m.completed_total < warmup && step_guarded () do
+    ()
+  done;
+  m.measuring <- true;
+  Metrics.reset_at metrics ~now:(Engine.now engine);
+  (m, step_guarded)
+
+let result_of m =
+  {
+    metrics = m.metrics;
+    final_time = Engine.now m.engine;
+    events = Engine.events_processed m.engine;
+  }
+
+let run ?(seed = 42) ?warmup_cycles ?(max_events = 200_000_000) ?on_cycle ~spec ~cycles
+    () =
+  if cycles <= 0 then invalid_arg "Machine: cycles must be positive";
+  let warmup = match warmup_cycles with Some w -> max 0 w | None -> max 1000 (cycles / 10) in
+  let m, step_guarded = prepare ?on_cycle ~seed ~warmup ~max_events ~spec () in
+  while m.completed_measured < cycles && step_guarded () do
+    ()
+  done;
+  result_of m
+
+type confidence = {
+  relative_half_width : float;
+  batches : int;
+  converged : bool;
+}
+
+let run_until_confident ?(seed = 42) ?(warmup_cycles = 2_000)
+    ?(max_events = 500_000_000) ?(batch_cycles = 2_000) ?(max_batches = 200)
+    ~rel_precision ~spec () =
+  if rel_precision <= 0. then invalid_arg "Machine: rel_precision must be positive";
+  if batch_cycles <= 0 then invalid_arg "Machine: batch_cycles must be positive";
+  if max_batches < 3 then invalid_arg "Machine: need at least three batches";
+  let m, step_guarded = prepare ~seed ~warmup:(max 0 warmup_cycles) ~max_events ~spec () in
+  let batch_means = Lopc_stats.Welford.create () in
+  let exhausted = ref false in
+  let converged = ref false in
+  while (not !converged) && (not !exhausted) && Lopc_stats.Welford.count batch_means < max_batches do
+    let target = m.completed_measured + batch_cycles in
+    let count0 = Welford.count m.metrics.Metrics.response in
+    let total0 = Welford.total m.metrics.Metrics.response in
+    while m.completed_measured < target && not !exhausted do
+      if not (step_guarded ()) then exhausted := true
+    done;
+    let dcount = Welford.count m.metrics.Metrics.response - count0 in
+    if dcount > 0 then
+      Lopc_stats.Welford.add batch_means
+        ((Welford.total m.metrics.Metrics.response -. total0) /. Float.of_int dcount);
+    if Lopc_stats.Welford.count batch_means >= 3 then begin
+      let mean = Lopc_stats.Welford.mean batch_means in
+      let half = Lopc_stats.Welford.confidence_interval batch_means in
+      if mean <> 0. && Float.abs (half /. mean) <= rel_precision then converged := true
+    end
+  done;
+  let mean = Lopc_stats.Welford.mean batch_means in
+  let half = Lopc_stats.Welford.confidence_interval batch_means in
+  ( result_of m,
+    {
+      relative_half_width =
+        (if Float.is_nan half || mean = 0. then Float.nan else Float.abs (half /. mean));
+      batches = Lopc_stats.Welford.count batch_means;
+      converged = !converged;
+    } )

@@ -1,0 +1,82 @@
+(** The active-message machine simulator.
+
+    Executes a {!Spec.t} on the discrete-event engine and returns
+    {!Metrics.t}. The simulation follows paper §2 exactly:
+
+    - the interconnect is contention free — every hop takes an
+      independent draw from the wire distribution, regardless of load;
+    - per-node message queues are unbounded FIFOs;
+    - handlers are atomic and run at higher priority than the compute
+      thread; in message-passing mode an arriving message preempts the
+      thread (preempt-resume), in protocol-processor mode handlers run on
+      a separate per-node resource and the thread is never disturbed;
+    - a blocked thread resumes only when its reply handler has completed
+      {e and} the handler queue has drained (queued handlers have
+      priority, §5.1).
+
+    Runs are deterministic functions of [seed]. *)
+
+type result = {
+  metrics : Metrics.t;   (** Post-warm-up measurements. *)
+  final_time : float;    (** Simulation clock at termination. *)
+  events : int;          (** Total events executed (including warm-up). *)
+}
+
+type cycle_report = {
+  origin : int;           (** Node whose thread ran the cycle. *)
+  started : float;        (** Work began (after the previous reply). *)
+  sent : float;           (** Request issued. *)
+  completed : float;      (** Reply handler finished. *)
+  request_residence : float;  (** [Rq], summed over hops. *)
+  reply_residence : float;    (** [Ry]. *)
+  wire : float;           (** Total interconnect time. *)
+  measured : bool;        (** Whether the cycle fell inside the
+                              measurement window. *)
+}
+(** One completed compute/request cycle, as delivered to [on_cycle]
+    observers — the raw material for traces and custom statistics. *)
+
+val run :
+  ?seed:int ->
+  ?warmup_cycles:int ->
+  ?max_events:int ->
+  ?on_cycle:(cycle_report -> unit) ->
+  spec:Spec.t ->
+  cycles:int ->
+  unit ->
+  result
+(** [run ~spec ~cycles ()] simulates until [cycles] compute/request cycles
+    have completed after warm-up (counted across all threads).
+    [warmup_cycles] (default [max 1000 (cycles/10)]) completions are
+    discarded first. [seed] defaults to [42]. [max_events] (default
+    [200_000_000]) is a runaway guard.
+    @raise Invalid_argument if the spec fails {!Spec.validate}, no node
+    runs a thread, a route ever returns an empty list or an out-of-range
+    node, or [cycles <= 0]. *)
+
+type confidence = {
+  relative_half_width : float;  (** Achieved ~95% CI half-width relative
+                                    to the mean response time; [nan] when
+                                    undefined. *)
+  batches : int;                (** Batches accumulated. *)
+  converged : bool;             (** Whether the precision target was met
+                                    before the batch budget ran out. *)
+}
+
+val run_until_confident :
+  ?seed:int ->
+  ?warmup_cycles:int ->
+  ?max_events:int ->
+  ?batch_cycles:int ->
+  ?max_batches:int ->
+  rel_precision:float ->
+  spec:Spec.t ->
+  unit ->
+  result * confidence
+(** [run_until_confident ~rel_precision ~spec ()] simulates in batches of
+    [batch_cycles] (default [2_000]) completed cycles, treating batch
+    means of the response time as approximately independent, until the
+    ~95% confidence half-width on the mean response falls below
+    [rel_precision ×. mean] (or [max_batches], default [200], is
+    reached). The standard batch-means stopping rule for steady-state
+    means. @raise Invalid_argument on non-positive controls. *)

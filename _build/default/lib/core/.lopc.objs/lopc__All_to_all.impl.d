@@ -1,0 +1,1 @@
+lib/core/all_to_all.ml: Array Float List Lopc_numerics Params

@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: All_to_all Array Float List Lopc_numerics Params

@@ -1,0 +1,1 @@
+lib/core/client_server.ml: Array Float Lopc_mva Params

@@ -1,0 +1,1 @@
+lib/core/client_server.mli: Params

@@ -1,0 +1,1 @@
+lib/core/gap.ml: All_to_all Float Lopc_numerics Params

@@ -1,0 +1,1 @@
+lib/core/general.ml: Array Float Format Lopc_numerics Params Printf

@@ -1,0 +1,1 @@
+lib/core/scaling.ml: All_to_all Float List Lopc_numerics Params

@@ -1,0 +1,1 @@
+lib/core/torus.ml: All_to_all Float Lopc_numerics Lopc_topology Params

@@ -1,0 +1,1 @@
+lib/core/torus.mli: Lopc_topology Params

@@ -1,0 +1,1 @@
+lib/core/windowed.ml: Array Float Lopc_numerics Params

@@ -1,0 +1,186 @@
+module Roots = Lopc_numerics.Roots
+module Fixed_point = Lopc_numerics.Fixed_point
+module Polynomial = Lopc_numerics.Polynomial
+module Linear = Lopc_numerics.Linear
+
+type solution = {
+  r : float;
+  rw : float;
+  rq : float;
+  ry : float;
+  qq : float;
+  qy : float;
+  uq : float;
+  uy : float;
+  throughput : float;
+  contention : float;
+}
+
+type execution = Interrupt | Polling | Protocol_processor
+
+type solve_method = Brent_on_residual | Damped_iteration | Polynomial_roots
+
+let check (params : Params.t) ~w =
+  (match Params.validate params with
+  | Ok _ -> ()
+  | Error reason -> invalid_arg ("All_to_all: " ^ reason));
+  if w < 0. || not (Float.is_finite w) then invalid_arg "All_to_all: invalid work value"
+
+let lower_bound (params : Params.t) ~w =
+  check params ~w;
+  w +. (2. *. params.st) +. (2. *. params.so)
+
+(* Queue lengths in closed form given s = So/R (see the .mli header).
+   Requires 1 − s − s² > 0, i.e. R above the golden-ratio multiple of So,
+   which holds whenever R exceeds the contention-free cycle time.
+
+   [extra] is an additional normalized waiting term e = E/R added to the
+   request-handler residency before service (zero except in polling mode,
+   where E is the destination thread's residual work quantum). Reply
+   handlers never pay it: with blocking requests the home thread is
+   already blocked when its reply arrives.
+     Qq = s·(1 + Qq + Qy + 2βs) + e
+     Qy = s·(1 + Qq + βs) *)
+let queues ?(extra = 0.) (params : Params.t) s =
+  let beta = (params.c2 -. 1.) /. 2. in
+  let denom = 1. -. s -. (s *. s) in
+  let gq = (1. +. ((1. +. (2. *. beta)) *. s) +. (beta *. s *. s)) /. denom in
+  let qq = (s *. gq) +. (extra /. denom) in
+  let qy = s *. (1. +. qq +. (beta *. s)) in
+  (qq, qy)
+
+(* In polling mode a handler arriving while the thread computes waits for
+   the residual work quantum: probability Uw = W/R, mean residual
+   (1 + C²w)/2 · W. *)
+let polling_wait ~work_scv ~w r =
+  let uw = w /. r in
+  uw *. ((1. +. work_scv) /. 2.) *. w
+
+let analyze ~execution ~work_scv (params : Params.t) ~w r =
+  let s = params.so /. r in
+  let extra =
+    match execution with
+    | Polling -> polling_wait ~work_scv ~w r /. r
+    | Interrupt | Protocol_processor -> 0.
+  in
+  let qq, qy = queues ~extra params s in
+  let rq = qq *. r in
+  let ry = qy *. r in
+  let rw =
+    match execution with
+    | Interrupt -> (w +. (params.so *. qq)) /. (1. -. s)
+    | Polling | Protocol_processor -> w
+  in
+  (rw, rq, ry, qq, qy, s)
+
+let fixed_point_map ?(execution = Interrupt) ?(work_scv = 1.) (params : Params.t) ~w r =
+  let rw, rq, ry, _, _, _ = analyze ~execution ~work_scv params ~w r in
+  rw +. (2. *. params.st) +. rq +. ry
+
+(* The fixed point of F lies above the contention-free cycle time; F is
+   decreasing there, so (F r − r) changes sign exactly once. *)
+let solve_brent ?execution ?work_scv params ~w =
+  let lb = lower_bound params ~w in
+  let f r = fixed_point_map ?execution ?work_scv params ~w r -. r in
+  (* F lb > lb in all non-degenerate cases, but guard exact equality. *)
+  if f lb <= 0. then lb
+  else begin
+    let lo, hi = Roots.expand_bracket_upward ~f lb in
+    Roots.brent ~f lo hi
+  end
+
+let solve_iteration ?execution ?work_scv params ~w =
+  let lb = lower_bound params ~w in
+  let f r =
+    (* Clamp into the region where the closed forms are valid. *)
+    let r = Float.max r lb in
+    fixed_point_map ?execution ?work_scv params ~w r
+  in
+  Fixed_point.solve_scalar ~damping:0.5 ~tol:1e-12 ~f lb
+
+(* Clearing denominators in r − F(r) = 0: multiplying by
+   r·(r − So)·(r² − r·So − So²) yields a polynomial of degree ≤ 5. Rather
+   than expanding symbolically we interpolate it exactly from 6 samples. *)
+let quartic ?(execution = Interrupt) ?(work_scv = 1.) (params : Params.t) ~w =
+  check params ~w;
+  let so = params.so in
+  let cleared r =
+    let d1 = r -. so in
+    let d2 = (r *. r) -. (r *. so) -. (so *. so) in
+    (r -. fixed_point_map ~execution ~work_scv params ~w r) *. r *. d1 *. d2
+  in
+  let lb = lower_bound params ~w in
+  (* Interpolate in the normalized variable u = r / lb so the Vandermonde
+     system stays well conditioned, then rescale coefficients back: if
+     q(u) = Σ c_j u^j interpolates G(lb·u), then G(r) = Σ (c_j / lb^j) r^j. *)
+  let points = Array.init 6 (fun i -> 1.1 +. (0.45 *. Float.of_int i)) in
+  let vandermonde =
+    Array.map (fun u -> Array.init 6 (fun j -> u ** Float.of_int j)) points
+  in
+  let rhs = Array.map (fun u -> cleared (lb *. u)) points in
+  let coeffs = Linear.solve vandermonde rhs in
+  let rescaled = Array.mapi (fun j c -> c /. (lb ** Float.of_int j)) coeffs in
+  (* Interpolation noise can leave a tiny spurious leading coefficient;
+     trim anything far below the dominant scale (in normalized units). *)
+  let scale = Array.fold_left (fun acc c -> Float.max acc (Float.abs c)) 0. coeffs in
+  let cleaned =
+    Array.mapi
+      (fun j c -> if Float.abs coeffs.(j) < 1e-7 *. scale then 0. else c)
+      rescaled
+  in
+  Polynomial.of_coeffs cleaned
+
+let solve_polynomial ?execution ?work_scv params ~w =
+  let poly = quartic ?execution ?work_scv params ~w in
+  let lb = lower_bound params ~w in
+  let candidates =
+    Polynomial.real_roots poly
+    |> Array.to_list
+    |> List.filter (fun r -> r >= lb *. (1. -. 1e-9))
+  in
+  match candidates with
+  | [] -> solve_brent ?execution ?work_scv params ~w
+  | first :: rest -> List.fold_left Float.min first rest
+
+let solution_of_r (params : Params.t) ~w ~work_scv ~execution r =
+  let rw, rq, ry, qq, qy, s = analyze ~execution ~work_scv params ~w r in
+  {
+    r;
+    rw;
+    rq;
+    ry;
+    qq;
+    qy;
+    uq = s;
+    uy = s;
+    throughput = Float.of_int params.p /. r;
+    contention = r -. lower_bound params ~w;
+  }
+
+let solve ?(execution = Interrupt) ?(work_scv = 1.) ?(solve_method = Brent_on_residual)
+    params ~w =
+  check params ~w;
+  if work_scv < 0. || not (Float.is_finite work_scv) then
+    invalid_arg "All_to_all: invalid work_scv";
+  let r =
+    match solve_method with
+    | Brent_on_residual -> solve_brent ~execution ~work_scv params ~w
+    | Damped_iteration -> solve_iteration ~execution ~work_scv params ~w
+    | Polynomial_roots -> solve_polynomial ~execution ~work_scv params ~w
+  in
+  solution_of_r params ~w ~work_scv ~execution r
+
+let rule_of_thumb_constant ~c2 =
+  let params = Params.create ~c2 ~p:2 ~st:0. ~so:1. () in
+  (solve params ~w:0.).r
+
+let upper_bound (params : Params.t) ~w =
+  check params ~w;
+  w +. (2. *. params.st) +. (rule_of_thumb_constant ~c2:params.c2 *. params.so)
+
+let contention_fraction params ~w =
+  let s = solve params ~w in
+  s.contention /. s.r
+
+let total_runtime ?execution params (alg : Params.algorithm) =
+  Float.of_int alg.n *. (solve ?execution params ~w:alg.w).r

@@ -1,0 +1,74 @@
+module Roots = Lopc_numerics.Roots
+
+type solution = {
+  gap : float;
+  r : float;
+  r_without_gap : float;
+  ni_residence : float;
+  ni_utilization : float;
+  penalty : float;
+}
+
+let check (params : Params.t) ~gap ~w =
+  (match Params.validate params with
+  | Ok _ -> ()
+  | Error reason -> invalid_arg ("Gap: " ^ reason));
+  if w < 0. || not (Float.is_finite w) then invalid_arg "Gap: invalid work value";
+  if gap < 0. || not (Float.is_finite gap) then invalid_arg "Gap: invalid gap value"
+
+let lower_bound ~gap (params : Params.t) ~w =
+  check params ~gap ~w;
+  w +. (2. *. params.st) +. (4. *. gap) +. (2. *. params.so)
+
+(* Bard residence of one passage through an NI with constant service g and
+   arrival rate 2/R. Valid while the NI is stable (2g < R). *)
+let ni_residence_at ~gap r =
+  if gap = 0. then 0.
+  else begin
+    let lambda = 2. /. r in
+    let u = lambda *. gap in
+    if u >= 0.999 then infinity else gap *. (1. -. (u /. 2.)) /. (1. -. u)
+  end
+
+let fixed_point_map ~gap (params : Params.t) ~w r =
+  All_to_all.fixed_point_map params ~w r +. (4. *. ni_residence_at ~gap r)
+
+let solve ?(gap = 0.) (params : Params.t) ~w =
+  check params ~gap ~w;
+  let base = All_to_all.solve params ~w in
+  if gap = 0. then
+    {
+      gap;
+      r = base.All_to_all.r;
+      r_without_gap = base.All_to_all.r;
+      ni_residence = 0.;
+      ni_utilization = 0.;
+      penalty = 0.;
+    }
+  else begin
+    let lb = lower_bound ~gap params ~w in
+    let f r = fixed_point_map ~gap params ~w r -. r in
+    let r =
+      if f lb <= 0. then lb
+      else begin
+        let lo, hi = Roots.expand_bracket_upward ~f lb in
+        Roots.brent ~f lo hi
+      end
+    in
+    {
+      gap;
+      r;
+      r_without_gap = base.All_to_all.r;
+      ni_residence = ni_residence_at ~gap r;
+      ni_utilization = 2. *. gap /. r;
+      penalty = (r /. base.All_to_all.r) -. 1.;
+    }
+  end
+
+let tolerable_gap ?(penalty = 0.05) (params : Params.t) ~w =
+  if penalty <= 0. then invalid_arg "Gap.tolerable_gap: penalty must be positive";
+  check params ~gap:0. ~w;
+  let slowdown g = (solve ~gap:g params ~w).penalty -. penalty in
+  (* The penalty is 0 at g = 0 and grows without bound; bracket upward. *)
+  let lo, hi = Roots.expand_bracket_upward ~f:slowdown 1e-9 in
+  Roots.brent ~f:slowdown lo hi

@@ -1,0 +1,34 @@
+(** The contention-free LogP baseline.
+
+    A "naive application of LogP" (paper §5.3) prices a blocking
+    compute/request cycle at exactly
+
+    [R = W + 2·St + 2·So]
+
+    — work, two network traversals, one request handler, one reply
+    handler — with no queueing or preemption anywhere. The paper shows
+    this underestimates run time by up to 37%, with an absolute error of
+    about one handler time that does not shrink as [W] grows. This module
+    implements that baseline and the LogP-style asymptotic throughput
+    bounds for the client-server work-pile (§6, the dotted lines of
+    Fig 6-2). *)
+
+val cycle_time : Params.t -> w:float -> float
+(** [cycle_time params ~w] is [w + 2·St + 2·So].
+    @raise Invalid_argument if [w < 0.]. *)
+
+val total_runtime : Params.t -> Params.algorithm -> float
+(** [total_runtime params alg] is [n ·. cycle_time]. *)
+
+val server_bound : Params.t -> servers:int -> float
+(** Work-pile throughput can never exceed [Ps / So] — every chunk
+    requires one request handler at some server.
+    @raise Invalid_argument if [servers < 1]. *)
+
+val client_bound : Params.t -> w:float -> clients:int -> float
+(** Work-pile throughput can never exceed [Pc / (W + 2·St + 2·So)] —
+    every client needs a full contention-free cycle per chunk.
+    @raise Invalid_argument if [clients < 1] or [w < 0.]. *)
+
+val workpile_bound : Params.t -> w:float -> servers:int -> clients:int -> float
+(** Minimum of {!server_bound} and {!client_bound}. *)

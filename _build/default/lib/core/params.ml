@@ -1,0 +1,34 @@
+type t = { p : int; st : float; so : float; c2 : float }
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if t.p < 1 then err "need at least one processor, got P=%d" t.p
+  else if t.st < 0. || not (Float.is_finite t.st) then err "St must be finite and >= 0, got %g" t.st
+  else if t.so <= 0. || not (Float.is_finite t.so) then err "So must be finite and > 0, got %g" t.so
+  else if t.c2 < 0. || not (Float.is_finite t.c2) then err "C2 must be finite and >= 0, got %g" t.c2
+  else Ok t
+
+let create ?(c2 = 1.) ~p ~st ~so () =
+  match validate { p; st; so; c2 } with
+  | Ok t -> t
+  | Error reason -> invalid_arg ("Params: " ^ reason)
+
+let of_logp ~l ~o ~p = create ~p ~st:l ~so:o ()
+
+type algorithm = { n : int; w : float }
+
+let algorithm ~n ~w =
+  if n < 0 then invalid_arg "Params.algorithm: negative request count";
+  if w < 0. || not (Float.is_finite w) then invalid_arg "Params.algorithm: invalid work";
+  { n; w }
+
+let pp ppf t = Format.fprintf ppf "P=%d St=%g So=%g C2=%g" t.p t.st t.so t.c2
+
+let logp_correspondence =
+  [
+    ("St", "L", "Average wire time (latency) in the interconnect");
+    ("So", "o", "Average cost of message dispatch");
+    ("-", "g", "Peak processor to network bandwidth (assumed balanced)");
+    ("P", "P", "Number of processors");
+    ("C2", "-", "Variability in message processing time (optional)");
+  ]

@@ -1,0 +1,33 @@
+(** Grain-size and scaling guidance derived from the LoPC model.
+
+    The model answers design questions beyond predicting one run time:
+    how fine-grained may an algorithm's communication become before
+    contention eats its parallel efficiency, and how far does a fixed
+    problem scale? These helpers package those answers (all for the
+    homogeneous all-to-all pattern of §5). *)
+
+val efficiency : Params.t -> w:float -> float
+(** Fraction of the cycle spent on useful work, [W / R] — the parallel
+    efficiency ceiling imposed by communication and contention.
+    @raise Invalid_argument if [w < 0.]. *)
+
+val min_work_for_efficiency : Params.t -> target:float -> float
+(** [min_work_for_efficiency params ~target] is the smallest [W] whose
+    {!efficiency} reaches [target] ∈ (0, 1) — i.e. how coarse the grain
+    must be on this machine. Monotonicity of [W/R(W)] makes this a
+    one-dimensional root find.
+    @raise Invalid_argument if [target] is outside [(0, 1)]. *)
+
+val speedup : Params.t -> total_work:float -> requests:int -> float
+(** Fixed-size (strong) scaling: a job of [total_work] cycles split into
+    [requests] communication rounds per node runs at
+    [T(1)/T(P) = total_work / (n ·. R(W))] with [W = total_work/(P·n)]
+    per-node work between requests. @raise Invalid_argument if
+    [total_work <= 0.] or [requests < 1]. *)
+
+val speedup_curve :
+  p_values:int list -> st:float -> so:float -> ?c2:float -> total_work:float ->
+  requests_per_node:int -> unit -> (int * float) list
+(** [speedup_curve ~p_values ~st ~so ~total_work ~requests_per_node ()]
+    evaluates {!speedup} across machine sizes (same [St], [So], [C²]),
+    e.g. to locate where adding processors stops paying. *)

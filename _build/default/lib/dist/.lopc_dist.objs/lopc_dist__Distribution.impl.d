@@ -1,0 +1,1 @@
+lib/dist/distribution.ml: Array Float Format Lopc_prng

@@ -1,0 +1,1 @@
+lib/dist/distribution.mli: Format Lopc_prng

@@ -1,0 +1,125 @@
+module Rng = Lopc_prng.Rng
+
+type t =
+  | Constant of float
+  | Exponential of float
+  | Uniform of float * float
+  | Erlang of int * float
+  | Hyperexponential of float * float * float
+  | Shifted_exponential of float * float
+  | Empirical of float array
+
+let validate t =
+  let ok = Ok t in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  match t with
+  | Constant c -> if c >= 0. then ok else err "Constant: negative value %g" c
+  | Exponential m -> if m >= 0. then ok else err "Exponential: negative mean %g" m
+  | Uniform (lo, hi) ->
+    if 0. <= lo && lo <= hi then ok else err "Uniform: invalid bounds [%g, %g]" lo hi
+  | Erlang (k, m) ->
+    if k >= 1 && m >= 0. then ok else err "Erlang: need k >= 1 and mean >= 0, got k=%d mean=%g" k m
+  | Hyperexponential (p, m1, m2) ->
+    if 0. <= p && p <= 1. && m1 >= 0. && m2 >= 0. then ok
+    else err "Hyperexponential: invalid (p=%g, mean1=%g, mean2=%g)" p m1 m2
+  | Shifted_exponential (offset, m) ->
+    if 0. <= offset && offset <= m then ok
+    else err "Shifted_exponential: need 0 <= offset <= mean, got offset=%g mean=%g" offset m
+  | Empirical samples ->
+    if Array.length samples = 0 then err "Empirical: empty sample array"
+    else if Array.exists (fun x -> x < 0. || not (Float.is_finite x)) samples then
+      err "Empirical: samples must be finite and non-negative"
+    else ok
+
+let check t =
+  match validate t with Ok t -> t | Error reason -> invalid_arg ("Distribution: " ^ reason)
+
+let empirical_mean samples =
+  Array.fold_left ( +. ) 0. samples /. Float.of_int (Array.length samples)
+
+let mean = function
+  | Constant c -> c
+  | Exponential m -> m
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.
+  | Erlang (_, m) -> m
+  | Hyperexponential (p, m1, m2) -> (p *. m1) +. ((1. -. p) *. m2)
+  | Shifted_exponential (_, m) -> m
+  | Empirical samples -> empirical_mean samples
+
+let variance = function
+  | Constant _ -> 0.
+  | Exponential m -> m *. m
+  | Uniform (lo, hi) ->
+    let w = hi -. lo in
+    w *. w /. 12.
+  | Erlang (k, m) -> m *. m /. Float.of_int k
+  | Hyperexponential (p, m1, m2) ->
+    (* E[X²] of a mixture of exponentials: sum p_i · 2·m_i². *)
+    let second = (p *. 2. *. m1 *. m1) +. ((1. -. p) *. 2. *. m2 *. m2) in
+    let mu = (p *. m1) +. ((1. -. p) *. m2) in
+    second -. (mu *. mu)
+  | Shifted_exponential (offset, m) ->
+    let tail = m -. offset in
+    tail *. tail
+  | Empirical samples ->
+    let mu = empirical_mean samples in
+    Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.)) 0. samples
+    /. Float.of_int (Array.length samples)
+
+let scv t =
+  let mu = mean t in
+  if mu = 0. then 0. else variance t /. (mu *. mu)
+
+let residual_mean t = (1. +. scv t) /. 2. *. mean t
+
+let sample t rng =
+  match check t with
+  | Constant c -> c
+  | Exponential m -> if m = 0. then 0. else Rng.exponential rng m
+  | Uniform (lo, hi) -> if lo = hi then lo else Rng.float_range rng lo hi
+  | Erlang (k, m) ->
+    if m = 0. then 0.
+    else begin
+      let phase_mean = m /. Float.of_int k in
+      let acc = ref 0. in
+      for _ = 1 to k do
+        acc := !acc +. Rng.exponential rng phase_mean
+      done;
+      !acc
+    end
+  | Hyperexponential (p, m1, m2) ->
+    let m = if Rng.bernoulli rng p then m1 else m2 in
+    if m = 0. then 0. else Rng.exponential rng m
+  | Shifted_exponential (offset, m) ->
+    let tail = m -. offset in
+    offset +. (if tail = 0. then 0. else Rng.exponential rng tail)
+  | Empirical samples -> samples.(Rng.int_below rng (Array.length samples))
+
+let of_mean_scv ~mean:m ~scv:c2 =
+  if m < 0. then invalid_arg "Distribution.of_mean_scv: negative mean";
+  if c2 < 0. then invalid_arg "Distribution.of_mean_scv: negative scv";
+  if m = 0. || c2 = 0. then Constant m
+  else if c2 < 1. then
+    (* Shifted exponential: C² = (1 − offset/mean)², so
+       offset = mean·(1 − sqrt C²). *)
+    Shifted_exponential (m *. (1. -. sqrt c2), m)
+  else if c2 = 1. then Exponential m
+  else begin
+    (* Balanced-means two-phase hyperexponential (Allen 1990):
+       p = (1 + sqrt((C²−1)/(C²+1))) / 2, branch means chosen so each
+       branch contributes half the total mean. *)
+    let p = (1. +. sqrt ((c2 -. 1.) /. (c2 +. 1.))) /. 2. in
+    let m1 = m /. (2. *. p) and m2 = m /. (2. *. (1. -. p)) in
+    Hyperexponential (p, m1, m2)
+  end
+
+let pp ppf = function
+  | Constant c -> Format.fprintf ppf "Const(%g)" c
+  | Exponential m -> Format.fprintf ppf "Exp(mean=%g)" m
+  | Uniform (lo, hi) -> Format.fprintf ppf "Uniform[%g, %g]" lo hi
+  | Erlang (k, m) -> Format.fprintf ppf "Erlang(k=%d, mean=%g)" k m
+  | Hyperexponential (p, m1, m2) -> Format.fprintf ppf "Hyperexp(p=%g, %g, %g)" p m1 m2
+  | Shifted_exponential (offset, m) -> Format.fprintf ppf "ShiftedExp(offset=%g, mean=%g)" offset m
+  | Empirical samples -> Format.fprintf ppf "Empirical(n=%d, mean=%g)" (Array.length samples) (empirical_mean samples)
+
+let to_string t = Format.asprintf "%a" pp t

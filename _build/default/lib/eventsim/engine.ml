@@ -1,0 +1,68 @@
+type t = {
+  heap : event Event_heap.t;
+  mutable now : float;
+  mutable executed : int;
+}
+
+and event = { action : t -> unit; mutable cancelled : bool }
+
+type handle = event
+
+let create () = { heap = Event_heap.create (); now = 0.; executed = 0 }
+
+let now t = t.now
+
+let events_processed t = t.executed
+
+let pending t = Event_heap.size t.heap
+
+let schedule_at t ~time f =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  if time < t.now then invalid_arg "Engine.schedule_at: scheduling into the past";
+  let ev = { action = f; cancelled = false } in
+  Event_heap.push t.heap ~time ev;
+  ev
+
+let schedule t ~delay f =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  schedule_at t ~time:(t.now +. delay) f
+
+let cancel ev = ev.cancelled <- true
+
+let is_cancelled ev = ev.cancelled
+
+let rec step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, ev) ->
+    if ev.cancelled then step t
+    else begin
+      t.now <- time;
+      t.executed <- t.executed + 1;
+      ev.action t;
+      true
+    end
+
+let run ?until ?max_events t =
+  let budget_left () =
+    match max_events with None -> true | Some m -> t.executed < m
+  in
+  let within_horizon () =
+    match until with
+    | None -> true
+    | Some horizon -> (
+      match Event_heap.peek_time t.heap with
+      | None -> false
+      | Some next -> next <= horizon)
+  in
+  let continue = ref true in
+  while !continue do
+    if budget_left () && within_horizon () then begin
+      if not (step t) then continue := false
+    end
+    else continue := false
+  done;
+  match until with
+  | Some horizon when t.now < horizon && budget_left () -> t.now <- horizon
+  | Some _ | None -> ()

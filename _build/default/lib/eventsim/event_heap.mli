@@ -1,0 +1,32 @@
+(** Binary min-heap of timestamped items with stable FIFO tie-breaking.
+
+    The core data structure of the event engine: [pop] always returns the
+    item with the smallest timestamp, and among equal timestamps the one
+    inserted first. This determinism matters — the simulator's results
+    must be a pure function of its seed, and the paper's constant-service
+    configurations produce many simultaneous events. *)
+
+type 'a t
+(** Mutable heap of items of type ['a]. *)
+
+val create : unit -> 'a t
+(** An empty heap. *)
+
+val size : 'a t -> int
+(** Number of items currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [size t = 0]. *)
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push t ~time x] inserts [x] with the given timestamp.
+    @raise Invalid_argument if [time] is not finite. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest item, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest item without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove everything. *)

@@ -1,0 +1,1 @@
+lib/markov/exact_machine.ml: Ctmc Float List Printf

@@ -1,0 +1,1 @@
+lib/markov/exact_machine.mli:

@@ -1,0 +1,103 @@
+type 'state solution = {
+  index : ('state, int) Hashtbl.t;
+  pi : float array;
+}
+
+exception State_space_too_large of int
+
+let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initial
+    ~transitions () =
+  (* Phase 1: explore the reachable state space. *)
+  let index : ('state, int) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref [] in
+  let count = ref 0 in
+  let id_of s =
+    match Hashtbl.find_opt index s with
+    | Some i -> i
+    | None ->
+      if !count >= max_states then raise (State_space_too_large max_states);
+      let i = !count in
+      Hashtbl.add index s i;
+      states := s :: !states;
+      incr count;
+      i
+  in
+  ignore (id_of initial);
+  (* Rows of the generator, built as we pop a worklist. *)
+  let rows : (int * float) list array ref = ref (Array.make 64 []) in
+  let ensure i =
+    if i >= Array.length !rows then begin
+      let fresh = Array.make (max (2 * Array.length !rows) (i + 1)) [] in
+      Array.blit !rows 0 fresh 0 (Array.length !rows);
+      rows := fresh
+    end
+  in
+  let frontier = Queue.create () in
+  Queue.push initial frontier;
+  let explored = ref 0 in
+  while not (Queue.is_empty frontier) do
+    let s = Queue.pop frontier in
+    let i = id_of s in
+    ensure i;
+    if (!rows).(i) = [] then begin
+      incr explored;
+      let out =
+        List.filter_map
+          (fun (s', rate) ->
+            if rate < 0. || not (Float.is_finite rate) then
+              invalid_arg "Ctmc.solve: non-positive or non-finite rate";
+            if rate = 0. || s' = s then None
+            else begin
+              let before = !count in
+              let j = id_of s' in
+              if !count > before then Queue.push s' frontier;
+              Some (j, rate)
+            end)
+          (transitions s)
+      in
+      (* Mark visited even for absorbing states. *)
+      (!rows).(i) <- (if out = [] then [ (i, 0.) ] else out)
+    end
+  done;
+  let n = !count in
+  let rows = Array.sub !rows 0 n in
+  (* Phase 2: uniformize and power-iterate pi <- pi P. *)
+  let out_rate = Array.map (fun row -> List.fold_left (fun a (_, r) -> a +. r) 0. row) rows in
+  let lambda = 1.01 *. Array.fold_left Float.max 1e-12 out_rate in
+  let pi = Array.make n (1. /. Float.of_int n) in
+  let next = Array.make n 0. in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    Array.fill next 0 n 0.;
+    for i = 0 to n - 1 do
+      let stay = pi.(i) *. (1. -. (out_rate.(i) /. lambda)) in
+      next.(i) <- next.(i) +. stay;
+      List.iter
+        (fun (j, rate) -> next.(j) <- next.(j) +. (pi.(i) *. rate /. lambda))
+        rows.(i)
+    done;
+    let diff = ref 0. in
+    for i = 0 to n - 1 do
+      diff := !diff +. Float.abs (next.(i) -. pi.(i));
+      pi.(i) <- next.(i)
+    done;
+    if !diff <= tol then converged := true
+  done;
+  { index; pi }
+
+let states t = Array.length t.pi
+
+let probability t s =
+  match Hashtbl.find_opt t.index s with Some i -> t.pi.(i) | None -> 0.
+
+let expectation t ~f =
+  let acc = ref 0. in
+  Hashtbl.iter (fun s i -> acc := !acc +. (t.pi.(i) *. f s)) t.index;
+  !acc
+
+let rate_of t ~event ~transitions =
+  let acc = ref 0. in
+  Hashtbl.iter (fun s i -> acc := !acc +. (t.pi.(i) *. event s (transitions s))) t.index;
+  !acc

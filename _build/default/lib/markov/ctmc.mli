@@ -1,0 +1,47 @@
+(** Generic continuous-time Markov chain steady-state solver.
+
+    Given an initial state and a transition function, the solver explores
+    the reachable state space, builds the sparse generator, and computes
+    the stationary distribution by power iteration on the uniformized
+    chain. Used to validate the simulator and to measure the LoPC
+    approximations exactly (no Monte-Carlo noise) on machines small
+    enough to enumerate. *)
+
+type 'state solution
+(** Stationary distribution over the reachable states. *)
+
+exception State_space_too_large of int
+(** Raised when exploration exceeds the state budget. *)
+
+val solve :
+  ?max_states:int ->
+  ?tol:float ->
+  ?max_iter:int ->
+  initial:'state ->
+  transitions:('state -> ('state * float) list) ->
+  unit ->
+  'state solution
+(** [solve ~initial ~transitions ()] computes the stationary distribution
+    of the irreducible CTMC reachable from [initial]. [transitions s]
+    lists [(successor, rate)] pairs with strictly positive rates
+    (duplicate successors are summed; self-loops ignored). Defaults:
+    [max_states = 2_000_000], [tol = 1e-12], [max_iter = 200_000].
+    States must be usable as [Hashtbl] keys (structural equality).
+    @raise State_space_too_large when the budget is exceeded.
+    @raise Invalid_argument on a non-positive rate. *)
+
+val states : 'state solution -> int
+(** Number of reachable states. *)
+
+val probability : 'state solution -> 'state -> float
+(** Stationary probability of one state ([0.] if unreachable). *)
+
+val expectation : 'state solution -> f:('state -> float) -> float
+(** [expectation sol ~f] is [Σ_s π(s)·f(s)]. *)
+
+val rate_of : 'state solution -> event:('state -> ('state * float) list -> float) ->
+  transitions:('state -> ('state * float) list) -> float
+(** [rate_of sol ~event ~transitions] is the steady-state rate of an
+    event class: [Σ_s π(s) ·. event s (transitions s)], where [event]
+    returns the total rate of the transitions of interest out of [s]
+    (e.g. completions of a particular handler). *)

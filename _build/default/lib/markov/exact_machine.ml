@@ -1,0 +1,125 @@
+(* Phases of a node's single outstanding compute/request cycle. *)
+type phase =
+  | Working
+  | Req_wire of int  (* request in flight toward this destination *)
+  | Req_at of int    (* request in the destination's FIFO *)
+  | Rep_wire         (* reply in flight home *)
+  | Rep_home         (* reply in the home FIFO *)
+
+(* One entry of a node's handler FIFO. *)
+type item = Req of int (* owner *) | Rep
+
+type state = { phases : phase list; queues : item list list }
+
+type result = {
+  states : int;
+  cycle_time : float;
+  throughput : float;
+  qq : float;
+  qy : float;
+  uq : float;
+  uy : float;
+}
+
+let nth = List.nth
+
+let set_nth lst i v = List.mapi (fun j x -> if j = i then v else x) lst
+
+let append_nth lst i v = List.mapi (fun j x -> if j = i then x @ [ v ] else x) lst
+
+let pop_nth lst i =
+  List.mapi (fun j x -> if j = i then match x with [] -> [] | _ :: t -> t else x) lst
+
+let all_to_all ?max_states ~p ~w ~so ~st () =
+  if p < 2 then invalid_arg "Exact_machine: need at least two nodes";
+  List.iter
+    (fun (name, v) ->
+      if v <= 0. || not (Float.is_finite v) then
+        invalid_arg (Printf.sprintf "Exact_machine: %s must be strictly positive" name))
+    [ ("w", w); ("so", so); ("st", st) ];
+  let mu_w = 1. /. w and mu_so = 1. /. so and mu_st = 1. /. st in
+  let initial =
+    { phases = List.init p (fun _ -> Working); queues = List.init p (fun _ -> []) }
+  in
+  let transitions s =
+    let moves = ref [] in
+    let add s' rate = moves := (s', rate) :: !moves in
+    List.iteri
+      (fun i phase ->
+        match phase with
+        | Working ->
+          (* The thread runs only while its own FIFO is empty
+             (preempt-resume is free under memoryless work). On
+             completion it sends to a uniformly random peer. *)
+          if nth s.queues i = [] then
+            for d = 0 to p - 1 do
+              if d <> i then
+                add
+                  { s with phases = set_nth s.phases i (Req_wire d) }
+                  (mu_w /. Float.of_int (p - 1))
+            done
+        | Req_wire d ->
+          add
+            {
+              phases = set_nth s.phases i (Req_at d);
+              queues = append_nth s.queues d (Req i);
+            }
+            mu_st
+        | Req_at _ -> ()   (* progresses via the destination's FIFO head *)
+        | Rep_wire ->
+          add
+            {
+              phases = set_nth s.phases i Rep_home;
+              queues = append_nth s.queues i Rep;
+            }
+            mu_st
+        | Rep_home -> ()   (* progresses via the home FIFO head *))
+      s.phases;
+    (* Handler completions: the head of each non-empty FIFO finishes at
+       rate mu_so. *)
+    List.iteri
+      (fun k queue ->
+        match queue with
+        | [] -> ()
+        | Req owner :: _ ->
+          add
+            {
+              phases = set_nth s.phases owner Rep_wire;
+              queues = pop_nth s.queues k;
+            }
+            mu_so
+        | Rep :: _ ->
+          (* Node k's own reply completes: its thread starts a new cycle. *)
+          add
+            { phases = set_nth s.phases k Working; queues = pop_nth s.queues k }
+            mu_so)
+      s.queues;
+    !moves
+  in
+  let sol = Ctmc.solve ?max_states ~initial ~transitions () in
+  (* Per-node completion rate: head of node 0's FIFO is a reply. *)
+  let head_is queue pred = match queue with h :: _ -> pred h | [] -> false in
+  let throughput =
+    mu_so
+    *. Ctmc.expectation sol ~f:(fun s ->
+           if head_is (nth s.queues 0) (function Rep -> true | Req _ -> false) then 1.
+           else 0.)
+  in
+  let count_items pred s =
+    List.length (List.filter pred (nth s.queues 0)) |> Float.of_int
+  in
+  {
+    states = Ctmc.states sol;
+    cycle_time = 1. /. throughput;
+    throughput;
+    qq = Ctmc.expectation sol ~f:(count_items (function Req _ -> true | Rep -> false));
+    qy = Ctmc.expectation sol ~f:(count_items (function Rep -> true | Req _ -> false));
+    uq =
+      Ctmc.expectation sol ~f:(fun s ->
+          if head_is (nth s.queues 0) (function Req _ -> true | Rep -> false) then 1.
+          else 0.);
+    uy =
+      Ctmc.expectation sol ~f:(fun s ->
+          if head_is (nth s.queues 0) (function Rep -> true | Req _ -> false) then 1.
+          else 0.);
+  }

@@ -1,0 +1,38 @@
+(** Exact steady-state analysis of a small LoPC machine.
+
+    Enumerates the full continuous-time Markov chain of the paper's §2
+    machine running homogeneous blocking all-to-all traffic with
+    exponential work, handler and wire times (the model's default
+    [C² = 1] setting), and solves it with {!Ctmc}. The chain captures
+    exactly what the event-driven simulator executes — FIFO handler
+    queues, preempt-resume threads (free under memoryless work), blocking
+    requests — so it provides a Monte-Carlo-free third pillar next to the
+    simulator and the approximate LoPC model:
+
+    - exact vs simulator: validates the simulator to solver tolerance;
+    - exact vs LoPC: measures the Bard/BKT approximation error itself.
+
+    State: per node, the phase of its (single) outstanding cycle —
+    working, request in the wire, request at the destination, reply in
+    the wire, reply at home — plus the FIFO content of every node's
+    handler queue. The state space grows quickly: [p = 2] has a few
+    dozen states, [p = 3] a few thousand, [p = 4] hundreds of
+    thousands. *)
+
+type result = {
+  states : int;           (** Reachable CTMC states. *)
+  cycle_time : float;     (** Exact mean compute/request cycle time [R]. *)
+  throughput : float;     (** Exact per-node cycle completion rate. *)
+  qq : float;             (** Exact mean request handlers per node. *)
+  qy : float;             (** Exact mean reply handlers per node. *)
+  uq : float;             (** Exact utilization by request handlers. *)
+  uy : float;             (** Exact utilization by reply handlers. *)
+}
+
+val all_to_all :
+  ?max_states:int -> p:int -> w:float -> so:float -> st:float -> unit -> result
+(** [all_to_all ~p ~w ~so ~st ()] solves the [p]-node machine exactly.
+    All times must be strictly positive (exponential rates); [p >= 2].
+    [max_states] defaults to [2_000_000].
+    @raise Invalid_argument on non-positive parameters.
+    @raise Ctmc.State_space_too_large if [p] is too ambitious. *)

@@ -1,0 +1,1 @@
+lib/mva/amva.ml: Array Float Lopc_numerics Solution Station

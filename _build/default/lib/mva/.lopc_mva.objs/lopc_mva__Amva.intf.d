@@ -1,0 +1,1 @@
+lib/mva/amva.mli: Solution Station

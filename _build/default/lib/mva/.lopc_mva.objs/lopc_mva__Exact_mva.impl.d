@@ -1,0 +1,1 @@
+lib/mva/exact_mva.ml: Array Float Solution Station

@@ -1,0 +1,1 @@
+lib/mva/multiclass.ml: Amva Array Float Format Lopc_numerics Printf Station

@@ -1,0 +1,1 @@
+lib/mva/multiclass.mli: Amva Station

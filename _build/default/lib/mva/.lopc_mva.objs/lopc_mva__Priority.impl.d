@@ -1,0 +1,1 @@
+lib/mva/priority.ml: Float

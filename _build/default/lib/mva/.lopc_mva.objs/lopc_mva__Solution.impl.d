@@ -1,0 +1,1 @@
+lib/mva/solution.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/mva/solution.mli: Format

@@ -1,0 +1,1 @@
+lib/mva/station.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/mva/station.mli: Format

@@ -1,0 +1,108 @@
+module Fixed_point = Lopc_numerics.Fixed_point
+
+type approximation = Bard | Schweitzer
+
+(* Residence times given per-station queue lengths and a throughput
+   estimate (the scv residual-life correction term is the per-server
+   utilization U_k = x·D_k/c). Multi-server stations use the Seidmann
+   transformation: a queueing stage of demand D/c plus a fixed delay
+   D·(c−1)/c — exact for c = 1. *)
+let residence_of ~stations ~arrival_factor ~use_scv queues x =
+  Array.mapi
+    (fun i (s : Station.t) ->
+      match s.kind with
+      | Station.Delay -> s.demand
+      | Station.Queueing ->
+        let c = Float.of_int s.servers in
+        let queue_demand = s.demand /. c in
+        let fixed_delay = s.demand *. (c -. 1.) /. c in
+        let arrival_queue = arrival_factor *. queues.(i) in
+        let correction =
+          if use_scv then (s.scv -. 1.) /. 2. *. (x *. queue_demand) else 0.
+        in
+        fixed_delay +. (queue_demand *. (1. +. arrival_queue +. correction)))
+    stations
+
+(* Little's law X = n / (Z + Σ R_k(X)) with R linear in X:
+   Σ R = a + X·b, so X solves X²·b + X·a − n = 0. *)
+let consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queues =
+  let base = residence_of ~stations ~arrival_factor ~use_scv queues 0. in
+  let a = think_time +. Array.fold_left ( +. ) 0. base in
+  let b =
+    if not use_scv then 0.
+    else
+      Array.fold_left
+        (fun acc (s : Station.t) ->
+          match s.kind with
+          | Station.Delay -> acc
+          | Station.Queueing ->
+            let d = s.demand /. Float.of_int s.servers in
+            acc +. ((s.scv -. 1.) /. 2. *. d *. d))
+        0. stations
+  in
+  if b = 0. then n /. a
+  else begin
+    let disc = (a *. a) +. (4. *. n *. b) in
+    if disc < 0. then n /. a
+    else begin
+      let x = ((-.a) +. sqrt disc) /. (2. *. b) in
+      if x > 0. then x else n /. a
+    end
+  end
+
+let solve ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.) ?(tol = 1e-12)
+    ?(max_iter = 100_000) ~stations ~population () =
+  if population < 0 then invalid_arg "Amva: negative population";
+  if think_time < 0. then invalid_arg "Amva: negative think time";
+  Array.iter
+    (fun s ->
+      match Station.validate s with
+      | Ok _ -> ()
+      | Error reason -> invalid_arg ("Amva: " ^ reason))
+    stations;
+  let k = Array.length stations in
+  let n = Float.of_int population in
+  if population = 0 then
+    {
+      Solution.throughput = 0.;
+      cycle_time = Float.nan;
+      residence = Array.map (fun (s : Station.t) -> s.demand) stations;
+      queue_length = Array.make k 0.;
+      utilization = Array.make k 0.;
+    }
+  else begin
+    let arrival_factor =
+      match approximation with Bard -> 1. | Schweitzer -> (n -. 1.) /. n
+    in
+    let total_demand =
+      Array.fold_left (fun acc (s : Station.t) -> acc +. s.demand) 0. stations
+    in
+    if think_time +. total_demand <= 0. then
+      invalid_arg "Amva: zero total demand with positive population";
+    let step queues =
+      let x = consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queues in
+      let residence = residence_of ~stations ~arrival_factor ~use_scv queues x in
+      Array.map (fun r -> x *. r) residence
+    in
+    let q0 =
+      Array.map
+        (fun (s : Station.t) -> n *. s.demand /. (think_time +. total_demand))
+        stations
+    in
+    let { Fixed_point.value = queues; _ } =
+      Fixed_point.solve_vector ~damping:0.5 ~tol ~max_iter ~f:step q0
+    in
+    let x = consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queues in
+    let residence = residence_of ~stations ~arrival_factor ~use_scv queues x in
+    let cycle = think_time +. Array.fold_left ( +. ) 0. residence in
+    {
+      Solution.throughput = x;
+      cycle_time = cycle;
+      residence;
+      queue_length = Array.map (fun r -> x *. r) residence;
+      utilization =
+        Array.map
+          (fun (s : Station.t) -> x *. s.demand /. Float.of_int s.servers)
+          stations;
+    }
+  end

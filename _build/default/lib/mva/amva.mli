@@ -1,0 +1,36 @@
+(** Approximate Mean Value Analysis for single-class closed networks.
+
+    Replaces the exact Arrival Theorem recursion with an estimate of the
+    queue length seen at arrival instants, turning the O(N·K) recursion
+    into a fixed point independent of N:
+
+    - {b Bard} (paper's choice, [2]): arrival queue ≈ steady-state queue
+      [Q_k(N)]. Slightly pessimistic — it counts the arriving customer's
+      own contribution — with the error vanishing as N grows (§4).
+    - {b Schweitzer}: arrival queue ≈ [(N−1)/N ·. Q_k(N)], the standard
+      refinement, more accurate at small N.
+
+    When a station has non-exponential service ([scv ≠ 1]) the residual
+    life correction of paper Eq 5.8 replaces the full first-in-service
+    time by [(1 + C²)/2] of it:
+    [R_k = D_k ·. (1 + Q_k^arr + (C²−1)/2 ·. U_k)]. *)
+
+type approximation =
+  | Bard        (** Arrival queue = steady-state queue. *)
+  | Schweitzer  (** Arrival queue = (N−1)/N × steady-state queue. *)
+
+val solve :
+  ?approximation:approximation ->
+  ?use_scv:bool ->
+  ?think_time:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  stations:Station.t array ->
+  population:int ->
+  unit ->
+  Solution.t
+(** [solve ~stations ~population ()] iterates the AMVA equations to a fixed
+    point. [approximation] defaults to [Bard] (the paper's), [use_scv]
+    to [true], [think_time] to [0.].
+    @raise Invalid_argument on invalid inputs (as {!Exact_mva.solve}).
+    @raise Lopc_numerics.Fixed_point.Diverged if the iteration fails. *)

@@ -1,0 +1,69 @@
+let validate ?(think_time = 0.) ~stations ~population () =
+  if population < 0 then invalid_arg "Exact_mva: negative population";
+  if think_time < 0. then invalid_arg "Exact_mva: negative think time";
+  Array.iter
+    (fun s ->
+      (match Station.validate s with
+      | Ok _ -> ()
+      | Error reason -> invalid_arg ("Exact_mva: " ^ reason));
+      if s.Station.kind = Station.Queueing && s.Station.servers <> 1 then
+        invalid_arg "Exact_mva: multi-server stations need the approximate solver")
+    stations;
+  let total_demand =
+    think_time +. Array.fold_left (fun acc (s : Station.t) -> acc +. s.demand) 0. stations
+  in
+  if population > 0 && total_demand <= 0. then
+    invalid_arg "Exact_mva: zero total demand with positive population"
+
+(* One pass of the exact recursion, calling [report n x residence queues]
+   after each population step. *)
+let recurse ?(think_time = 0.) ~stations ~population ~report () =
+  let k = Array.length stations in
+  let queues = Array.make k 0. in
+  let residence = Array.make k 0. in
+  for n = 1 to population do
+    for i = 0 to k - 1 do
+      let s = stations.(i) in
+      residence.(i) <-
+        (match s.Station.kind with
+        | Station.Delay -> s.demand
+        | Station.Queueing -> s.demand *. (1. +. queues.(i)))
+    done;
+    let cycle = think_time +. Array.fold_left ( +. ) 0. residence in
+    let x = Float.of_int n /. cycle in
+    for i = 0 to k - 1 do
+      queues.(i) <- x *. residence.(i)
+    done;
+    report n x residence queues
+  done
+
+let solve ?(think_time = 0.) ~stations ~population () =
+  validate ~think_time ~stations ~population ();
+  let k = Array.length stations in
+  let final_x = ref 0. in
+  let final_res = Array.make k 0. in
+  let final_q = Array.make k 0. in
+  recurse ~think_time ~stations ~population
+    ~report:(fun n x residence queues ->
+      if n = population then begin
+        final_x := x;
+        Array.blit residence 0 final_res 0 k;
+        Array.blit queues 0 final_q 0 k
+      end)
+    ();
+  let x = !final_x in
+  {
+    Solution.throughput = x;
+    cycle_time = (if x = 0. then Float.nan else Float.of_int population /. x);
+    residence = final_res;
+    queue_length = final_q;
+    utilization = Array.map (fun (s : Station.t) -> x *. s.demand) stations;
+  }
+
+let throughput_curve ?(think_time = 0.) ~stations ~max_population () =
+  validate ~think_time ~stations ~population:max_population ();
+  let out = Array.make max_population 0. in
+  recurse ~think_time ~stations ~population:max_population
+    ~report:(fun n x _ _ -> out.(n - 1) <- x)
+    ();
+  out

@@ -1,0 +1,153 @@
+module Fixed_point = Lopc_numerics.Fixed_point
+
+type network = {
+  think_times : float array;
+  populations : int array;
+  demands : float array array;
+  station_kinds : Station.kind array;
+  station_scv : float array;
+}
+
+type solution = {
+  throughput : float array;
+  cycle_time : float array;
+  residence : float array array;
+  queue_length : float array array;
+  utilization : float array;
+}
+
+let validate net =
+  let c = Array.length net.populations in
+  let k = Array.length net.station_kinds in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if Array.length net.think_times <> c then err "think_times length %d <> classes %d" (Array.length net.think_times) c
+  else if Array.length net.demands <> c then err "demands rows %d <> classes %d" (Array.length net.demands) c
+  else if Array.length net.station_scv <> k then err "station_scv length %d <> stations %d" (Array.length net.station_scv) k
+  else begin
+    let problem = ref None in
+    Array.iteri
+      (fun ci row ->
+        if Array.length row <> k then problem := Some (Printf.sprintf "demands row %d has %d entries, expected %d" ci (Array.length row) k)
+        else
+          Array.iter
+            (fun d -> if d < 0. || not (Float.is_finite d) then problem := Some "negative or non-finite demand")
+            row)
+      net.demands;
+    Array.iter
+      (fun z -> if z < 0. || not (Float.is_finite z) then problem := Some "negative or non-finite think time")
+      net.think_times;
+    Array.iter
+      (fun n -> if n < 0 then problem := Some "negative population")
+      net.populations;
+    Array.iter
+      (fun v -> if v < 0. || not (Float.is_finite v) then problem := Some "negative or non-finite scv")
+      net.station_scv;
+    match !problem with Some reason -> Error reason | None -> Ok net
+  end
+
+let solve ?(approximation = Amva.Bard) ?(use_scv = true) ?(tol = 1e-12)
+    ?(max_iter = 200_000) net =
+  (match validate net with
+  | Ok _ -> ()
+  | Error reason -> invalid_arg ("Multiclass: " ^ reason));
+  let nclass = Array.length net.populations in
+  let nstat = Array.length net.station_kinds in
+  (* State: queue lengths Q_ck flattened, then throughputs X_c. *)
+  let idx c k = (c * nstat) + k in
+  let xidx c = (nclass * nstat) + c in
+  let dim = (nclass * nstat) + nclass in
+  let residence_of state =
+    (* Station utilizations from current throughput estimates. *)
+    let util =
+      Array.init nstat (fun k ->
+          let acc = ref 0. in
+          for c = 0 to nclass - 1 do
+            acc := !acc +. (state.(xidx c) *. net.demands.(c).(k))
+          done;
+          !acc)
+    in
+    Array.init nclass (fun c ->
+        Array.init nstat (fun k ->
+            let d = net.demands.(c).(k) in
+            match net.station_kinds.(k) with
+            | Station.Delay -> d
+            | Station.Queueing ->
+              if d = 0. then 0.
+              else begin
+                let total_queue = ref 0. in
+                for j = 0 to nclass - 1 do
+                  total_queue := !total_queue +. state.(idx j k)
+                done;
+                let arrival_queue =
+                  match approximation with
+                  | Amva.Bard -> !total_queue
+                  | Amva.Schweitzer ->
+                    let pop = Float.of_int net.populations.(c) in
+                    if pop <= 0. then !total_queue
+                    else !total_queue -. (state.(idx c k) /. pop)
+                in
+                let correction =
+                  if use_scv then (net.station_scv.(k) -. 1.) /. 2. *. util.(k) else 0.
+                in
+                d *. (1. +. arrival_queue +. correction)
+              end))
+  in
+  let step state =
+    let residence = residence_of state in
+    let next = Array.make dim 0. in
+    for c = 0 to nclass - 1 do
+      let cycle =
+        net.think_times.(c) +. Array.fold_left ( +. ) 0. residence.(c)
+      in
+      let x =
+        if net.populations.(c) = 0 || cycle <= 0. then 0.
+        else Float.of_int net.populations.(c) /. cycle
+      in
+      next.(xidx c) <- x;
+      for k = 0 to nstat - 1 do
+        next.(idx c k) <- x *. residence.(c).(k)
+      done
+    done;
+    next
+  in
+  (* Initial state: spread each class's population over its demands. *)
+  let init = Array.make dim 0. in
+  for c = 0 to nclass - 1 do
+    let total =
+      net.think_times.(c) +. Array.fold_left ( +. ) 0. net.demands.(c)
+    in
+    let pop = Float.of_int net.populations.(c) in
+    if total > 0. then begin
+      init.(xidx c) <- pop /. total;
+      for k = 0 to nstat - 1 do
+        init.(idx c k) <- pop *. net.demands.(c).(k) /. total
+      done
+    end
+  done;
+  let { Fixed_point.value = state; _ } =
+    Fixed_point.solve_vector ~damping:0.25 ~tol ~max_iter ~f:step init
+  in
+  let residence = residence_of state in
+  let throughput = Array.init nclass (fun c -> state.(xidx c)) in
+  let queue_length =
+    Array.init nclass (fun c -> Array.init nstat (fun k -> state.(idx c k)))
+  in
+  let utilization =
+    Array.init nstat (fun k ->
+        let acc = ref 0. in
+        for c = 0 to nclass - 1 do
+          acc := !acc +. (throughput.(c) *. net.demands.(c).(k))
+        done;
+        !acc)
+  in
+  {
+    throughput;
+    cycle_time =
+      Array.mapi
+        (fun c x ->
+          if x = 0. then Float.nan else Float.of_int net.populations.(c) /. x)
+        throughput;
+    residence;
+    queue_length;
+    utilization;
+  }

@@ -1,0 +1,43 @@
+(** Approximate MVA for multi-class closed networks.
+
+    Each customer class [c] has its own population [N_c], think time
+    [Z_c] and per-station demands [D_ck]; stations are shared. This is the
+    machinery behind the general LoPC model of Appendix A, where every
+    thread (or group of identical threads) is a class and every node's
+    processor is a station.
+
+    The Bard variant approximates the queue seen by an arriving class-[c]
+    customer at station [k] by the full steady-state queue [Σ_j Q_jk]; the
+    Schweitzer variant removes the arriving customer's own expected
+    contribution, [Σ_j Q_jk − Q_ck / N_c]. *)
+
+type network = {
+  think_times : float array;        (** [Z_c] per class. *)
+  populations : int array;          (** [N_c] per class. *)
+  demands : float array array;      (** [demands.(c).(k) = D_ck >= 0.]. *)
+  station_kinds : Station.kind array;  (** Kind of each station [k]. *)
+  station_scv : float array;        (** Service-time [C²] per station. *)
+}
+
+type solution = {
+  throughput : float array;         (** [X_c] per class. *)
+  cycle_time : float array;         (** [N_c / X_c] per class. *)
+  residence : float array array;    (** [R_ck]. *)
+  queue_length : float array array; (** [Q_ck]. *)
+  utilization : float array;        (** [U_k = Σ_c X_c·D_ck]. *)
+}
+
+val validate : network -> (network, string) result
+(** Shape and sign checks on all fields. *)
+
+val solve :
+  ?approximation:Amva.approximation ->
+  ?use_scv:bool ->
+  ?tol:float ->
+  ?max_iter:int ->
+  network ->
+  solution
+(** [solve network] iterates the multi-class AMVA equations to a fixed
+    point. Defaults: [approximation = Bard], [use_scv = true].
+    @raise Invalid_argument when {!validate} fails.
+    @raise Lopc_numerics.Fixed_point.Diverged on convergence failure. *)

@@ -1,0 +1,27 @@
+(** Preempt-resume priority approximations.
+
+    In the LoPC machine model message handlers run at high priority and
+    preempt the compute thread (preempt-resume). The thread's residence
+    time [Rw] is therefore inflated both by handlers already queued when
+    it resumes and by handlers arriving while it runs. The paper (§5.1)
+    uses the BKT approximation (Bryant, Krzesinski & Teunissen 1983 /
+    Chandy-Lakshmi family, refs [4,5,9]):
+
+    [Rw = (W + S_h·Q_h) / (1 − U_h)]
+
+    where [W] is the thread's own service requirement, [Q_h] and [U_h] the
+    steady-state queue length and utilization of the high-priority class,
+    and [S_h] its mean service time. The simpler shadow-server
+    approximation drops the queued-work term and only dilates by
+    [1/(1 − U_h)]; it is provided for the ablation benchmarks. *)
+
+val bkt :
+  work:float -> handler_service:float -> handler_queue:float -> handler_util:float -> float
+(** [bkt ~work ~handler_service ~handler_queue ~handler_util] is the BKT
+    preempt-resume residence time shown above.
+    @raise Invalid_argument if [handler_util >= 1.], or any argument is
+    negative or non-finite. *)
+
+val shadow_server : work:float -> handler_util:float -> float
+(** [shadow_server ~work ~handler_util] is [work / (1 − handler_util)].
+    @raise Invalid_argument under the same conditions as {!bkt}. *)

@@ -1,0 +1,17 @@
+(** Common result type for MVA solvers. *)
+
+type t = {
+  throughput : float;            (** System throughput [X]. *)
+  cycle_time : float;            (** Mean cycle time [N / X]. *)
+  residence : float array;       (** Per-station residence time [R_k]. *)
+  queue_length : float array;    (** Per-station mean customers [Q_k]. *)
+  utilization : float array;     (** Per-station utilization [U_k = X·D_k]. *)
+}
+
+val little_consistent : ?tol:float -> population:int -> t -> bool
+(** [little_consistent ~population s] checks [Σ Q_k ≈ population] (Little's
+    law over the whole network), the basic sanity invariant of any MVA
+    solution. [tol] is relative (default [1e-6]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering. *)

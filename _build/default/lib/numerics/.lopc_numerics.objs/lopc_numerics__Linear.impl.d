@@ -1,0 +1,1 @@
+lib/numerics/linear.ml: Array Float

@@ -1,0 +1,79 @@
+type outcome = { value : float array; iterations : int; residual : float }
+
+exception Diverged of string
+
+let solve_scalar ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+  if damping <= 0. || damping > 1. then invalid_arg "Fixed_point.solve_scalar: damping";
+  let x = ref x0 in
+  let answer = ref None in
+  (try
+     for _ = 1 to max_iter do
+       let fx = f !x in
+       if not (Float.is_finite fx) then raise (Diverged "scalar iteration left the finite domain");
+       if Float.abs (fx -. !x) <= tol *. Float.max 1. (Float.abs !x) then begin
+         answer := Some fx;
+         raise Exit
+       end;
+       x := ((1. -. damping) *. !x) +. (damping *. fx)
+     done
+   with Exit -> ());
+  match !answer with
+  | Some r -> r
+  | None -> raise (Diverged "scalar iteration budget exhausted")
+
+let max_norm_diff a b =
+  let m = ref 0. in
+  Array.iteri (fun i ai -> m := Float.max !m (Float.abs (ai -. b.(i)))) a;
+  !m
+
+let solve_vector ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+  if damping <= 0. || damping > 1. then invalid_arg "Fixed_point.solve_vector: damping";
+  let n = Array.length x0 in
+  let x = ref (Array.copy x0) in
+  let result = ref None in
+  (try
+     for iter = 1 to max_iter do
+       let fx = f !x in
+       if Array.length fx <> n then raise (Diverged "vector map changed dimension");
+       Array.iter
+         (fun v ->
+           if not (Float.is_finite v) then
+             raise (Diverged "vector iteration left the finite domain"))
+         fx;
+       let residual = max_norm_diff fx !x in
+       let scale = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1. !x in
+       if residual <= tol *. scale then begin
+         result := Some { value = fx; iterations = iter; residual };
+         raise Exit
+       end;
+       let next =
+         Array.mapi (fun i xi -> ((1. -. damping) *. xi) +. (damping *. fx.(i))) !x
+       in
+       x := next
+     done
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None -> raise (Diverged "vector iteration budget exhausted")
+
+let solve_scalar_aitken ?(tol = 1e-12) ?(max_iter = 200) ~f x0 =
+  let x = ref x0 in
+  let answer = ref None in
+  (try
+     for _ = 1 to max_iter do
+       let x1 = f !x in
+       let x2 = f x1 in
+       if not (Float.is_finite x1 && Float.is_finite x2) then
+         raise (Diverged "Aitken iteration left the finite domain");
+       let denom = x2 -. (2. *. x1) +. !x in
+       let next = if denom = 0. then x2 else !x -. (((x1 -. !x) ** 2.) /. denom) in
+       if Float.abs (next -. !x) <= tol *. Float.max 1. (Float.abs next) then begin
+         answer := Some next;
+         raise Exit
+       end;
+       x := next
+     done
+   with Exit -> ());
+  match !answer with
+  | Some r -> r
+  | None -> raise (Diverged "Aitken iteration budget exhausted")

@@ -1,0 +1,46 @@
+(** Fixed-point iteration for scalar and vector maps.
+
+    The AMVA equation systems in this library are all of the form
+    [x = F x] with [F] a contraction (or close to one) near the solution.
+    These solvers iterate [F] with optional under-relaxation (damping),
+    which is how MVA systems are conventionally solved. *)
+
+type outcome = {
+  value : float array;  (** The (approximate) fixed point. *)
+  iterations : int;     (** Iterations actually performed. *)
+  residual : float;     (** Max-norm of [F x − x] at the final iterate. *)
+}
+
+exception Diverged of string
+(** Raised when the iteration produces non-finite values or exhausts its
+    budget without meeting the tolerance. *)
+
+val solve_scalar :
+  ?damping:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  float ->
+  float
+(** [solve_scalar ~f x0] iterates [x <- (1−d)·x + d·f x] from [x0] until
+    [|f x − x| <= tol ·. max 1. |x|]. [damping] [d] defaults to [1.]
+    (plain iteration), [tol] to [1e-10], [max_iter] to [10_000].
+    @raise Diverged if convergence fails. *)
+
+val solve_vector :
+  ?damping:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float array -> float array) ->
+  float array ->
+  outcome
+(** Vector counterpart of {!solve_scalar} with the max norm. [f] must
+    return an array of the same length as its input.
+    @raise Diverged if convergence fails or lengths mismatch. *)
+
+val solve_scalar_aitken :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float
+(** [solve_scalar_aitken ~f x0] accelerates plain iteration with Aitken's
+    Δ² extrapolation (Steffensen's method) — typically converging in a
+    handful of steps on the smooth LoPC maps.
+    @raise Diverged if convergence fails. *)

@@ -1,0 +1,81 @@
+exception Singular
+
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Linear.solve: dimension mismatch";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Linear.solve: ragged matrix")
+    a;
+  (* Work on an augmented copy. *)
+  let m = Array.init n (fun i -> Array.append (Array.copy a.(i)) [| b.(i) |]) in
+  for col = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-300 then raise Singular;
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0. then
+        for k = col to n do
+          m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+        done
+    done
+  done;
+  let x = Array.make n 0. in
+  for row = n - 1 downto 0 do
+    let acc = ref m.(row).(n) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. m.(row).(row)
+  done;
+  x
+
+let mat_vec a x =
+  let n = Array.length x in
+  Array.map
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Linear.mat_vec: dimension mismatch";
+      let acc = ref 0. in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a
+
+let stationary_distribution ?(tol = 1e-12) p =
+  let n = Array.length p in
+  if n = 0 then invalid_arg "Linear.stationary_distribution: empty matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Linear.stationary_distribution: not square";
+      let sum = Array.fold_left ( +. ) 0. row in
+      Array.iter
+        (fun v ->
+          if v < 0. then invalid_arg "Linear.stationary_distribution: negative entry")
+        row;
+      if Float.abs (sum -. 1.) > 1e-6 then
+        invalid_arg "Linear.stationary_distribution: row does not sum to 1")
+    p;
+  let pi = ref (Array.make n (1. /. Float.of_int n)) in
+  let next = Array.make n 0. in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < 100_000 do
+    incr iter;
+    Array.fill next 0 n 0.;
+    Array.iteri
+      (fun i v -> Array.iteri (fun j pij -> next.(j) <- next.(j) +. (v *. pij)) p.(i))
+      !pi;
+    let diff = ref 0. in
+    Array.iteri (fun j v -> diff := Float.max !diff (Float.abs (v -. !pi.(j)))) next;
+    Array.blit next 0 !pi 0 n;
+    if !diff <= tol then converged := true
+  done;
+  !pi

@@ -1,0 +1,25 @@
+(** Small dense linear algebra.
+
+    The multi-class general LoPC model (Appendix A) occasionally needs a
+    direct solve of a small linear system (e.g. balancing visit ratios
+    from a routing matrix). Gaussian elimination with partial pivoting is
+    ample at these sizes (P ≤ a few hundred). *)
+
+exception Singular
+(** Raised when the system matrix is (numerically) singular. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] returns [x] with [a ·. x = b]. [a] is row-major and left
+    unmodified. @raise Invalid_argument on dimension mismatch.
+    @raise Singular when no unique solution exists. *)
+
+val mat_vec : float array array -> float array -> float array
+(** [mat_vec a x] is the matrix–vector product.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val stationary_distribution : ?tol:float -> float array array -> float array
+(** [stationary_distribution p] returns the stationary row vector [π] of
+    the irreducible row-stochastic matrix [p] ([π ·. p = π], [Σπ = 1]) by
+    power iteration. Used to turn a message routing matrix into per-node
+    visit fractions. @raise Invalid_argument if [p] is not square, has a
+    negative entry, or a row does not sum to 1 within [tol]-ish slack. *)

@@ -1,0 +1,118 @@
+let golden_section ?(tol = 1e-9) ?(max_iter = 500) ~f lo hi =
+  if lo > hi then invalid_arg "Minimize.golden_section: lo > hi";
+  let phi = (sqrt 5. -. 1.) /. 2. in
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iter = ref 0 in
+  while !b -. !a > tol *. Float.max 1. (Float.abs !a +. Float.abs !b) && !iter < max_iter do
+    incr iter;
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (phi *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+type outcome = { minimizer : float array; value : float; iterations : int }
+
+let nelder_mead ?(tol = 1e-10) ?(max_iter = 5000) ?initial_step ~f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Minimize.nelder_mead: empty starting point";
+  let step i =
+    match initial_step with
+    | Some s -> s
+    | None -> 0.1 *. Float.max 1. (Float.abs x0.(i))
+  in
+  (* Simplex of n+1 vertices with their values. *)
+  let simplex =
+    Array.init (n + 1) (fun k ->
+        let v = Array.copy x0 in
+        if k > 0 then v.(k - 1) <- v.(k - 1) +. step (k - 1);
+        (v, f v))
+  in
+  let order () = Array.sort (fun (_, a) (_, b) -> compare a b) simplex in
+  let centroid_excl_worst () =
+    let c = Array.make n 0. in
+    for k = 0 to n - 1 do
+      let v, _ = simplex.(k) in
+      Array.iteri (fun i vi -> c.(i) <- c.(i) +. (vi /. Float.of_int n)) v
+    done;
+    c
+  in
+  let combine a ca b cb = Array.init n (fun i -> (ca *. a.(i)) +. (cb *. b.(i))) in
+  let iterations = ref 0 in
+  order ();
+  (* Converged when both the value spread and the simplex extent are
+     small — the value test alone stalls on symmetric straddles of a
+     kink or flat valley. *)
+  let converged () =
+    let bestv, best = simplex.(0) and _, worst = simplex.(n) in
+    let diameter =
+      Array.fold_left
+        (fun acc (v, _) ->
+          let d = ref 0. in
+          Array.iteri (fun i vi -> d := Float.max !d (Float.abs (vi -. bestv.(i)))) v;
+          Float.max acc !d)
+        0. simplex
+    in
+    let scale =
+      Array.fold_left (fun acc vi -> Float.max acc (Float.abs vi)) 1. bestv
+    in
+    Float.abs (worst -. best) <= tol *. Float.max 1. (Float.abs best)
+    && diameter <= sqrt tol *. scale
+  in
+  while (not (converged ())) && !iterations < max_iter do
+    incr iterations;
+    let c = centroid_excl_worst () in
+    let worst, fworst = simplex.(n) in
+    let _, fbest = simplex.(0) in
+    let _, fsecond = simplex.(n - 1) in
+    (* Reflection. *)
+    let xr = combine c 2. worst (-1.) in
+    let fr = f xr in
+    if fr < fbest then begin
+      (* Expansion. *)
+      let xe = combine c 3. worst (-2.) in
+      let fe = f xe in
+      if fe < fr then simplex.(n) <- (xe, fe) else simplex.(n) <- (xr, fr)
+    end
+    else if fr < fsecond then simplex.(n) <- (xr, fr)
+    else begin
+      (* Contraction (outside if the reflection helped, inside else). *)
+      let xc, fc =
+        if fr < fworst then begin
+          let x = combine c 1.5 worst (-0.5) in
+          (x, f x)
+        end
+        else begin
+          let x = combine c 0.5 worst 0.5 in
+          (x, f x)
+        end
+      in
+      if fc < Float.min fr fworst then simplex.(n) <- (xc, fc)
+      else begin
+        (* Shrink toward the best vertex. *)
+        let best, _ = simplex.(0) in
+        for k = 1 to n do
+          let v, _ = simplex.(k) in
+          let shrunk = combine best 0.5 v 0.5 in
+          simplex.(k) <- (shrunk, f shrunk)
+        done
+      end
+    end;
+    order ()
+  done;
+  let minimizer, value = simplex.(0) in
+  { minimizer; value; iterations = !iterations }

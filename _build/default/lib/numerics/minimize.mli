@@ -1,0 +1,33 @@
+(** Derivative-free minimization.
+
+    Used for calibration tasks — fitting LoPC's architectural parameters
+    to measured run times — where the objective is smooth but its
+    gradient is inconvenient (it involves the model's fixed point). *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [golden_section ~f lo hi] minimizes a unimodal [f] on [\[lo, hi\]] by
+    golden-section search, returning the minimizer. [tol] (default
+    [1e-9]) bounds the final interval width relative to the interval.
+    @raise Invalid_argument if [lo > hi]. *)
+
+type outcome = {
+  minimizer : float array;  (** Best point found. *)
+  value : float;            (** Objective there. *)
+  iterations : int;
+}
+
+val nelder_mead :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?initial_step:float ->
+  f:(float array -> float) ->
+  float array ->
+  outcome
+(** [nelder_mead ~f x0] minimizes [f] from the starting point [x0] with
+    the Nelder–Mead simplex method (reflection / expansion / contraction
+    / shrink with the standard coefficients). Convergence is declared
+    when the simplex's value spread falls below [tol] (default [1e-10])
+    relative to the best value. [initial_step] (default [0.1 ·. max 1
+    |x0_i|] per coordinate) sizes the starting simplex.
+    @raise Invalid_argument on an empty starting point. *)

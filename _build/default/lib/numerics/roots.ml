@@ -1,0 +1,145 @@
+exception No_bracket
+exception Not_converged of string
+
+let same_strict_sign a b = (a > 0. && b > 0.) || (a < 0. && b < 0.)
+
+let bisect ?(tol = 1e-9) ?(max_iter = 200) ~f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if same_strict_sign flo fhi then raise No_bracket
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let result = ref Float.nan in
+    (try
+       for _ = 1 to max_iter do
+         let mid = 0.5 *. (!lo +. !hi) in
+         let fmid = f mid in
+         if fmid = 0. || !hi -. !lo < tol then begin
+           result := mid;
+           raise Exit
+         end;
+         if same_strict_sign !flo fmid then begin
+           lo := mid;
+           flo := fmid
+         end
+         else hi := mid
+       done;
+       result := 0.5 *. (!lo +. !hi)
+     with Exit -> ());
+    !result
+  end
+
+(* Brent's method, following the classical Brent (1973) formulation. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f lo) and fb = ref (f hi) in
+  if !fa = 0. then !a
+  else if !fb = 0. then !b
+  else if same_strict_sign !fa !fb then raise No_bracket
+  else begin
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let answer = ref Float.nan in
+    (try
+       for _ = 1 to max_iter do
+         if Float.abs !fc < Float.abs !fb then begin
+           a := !b;
+           b := !c;
+           c := !a;
+           fa := !fb;
+           fb := !fc;
+           fc := !fa
+         end;
+         let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+         let xm = 0.5 *. (!c -. !b) in
+         if Float.abs xm <= tol1 || !fb = 0. then begin
+           answer := !b;
+           raise Exit
+         end;
+         if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+           (* Attempt inverse quadratic interpolation / secant. *)
+           let s = !fb /. !fa in
+           let p, q =
+             if !a = !c then
+               let p = 2. *. xm *. s in
+               (p, 1. -. s)
+             else begin
+               let q = !fa /. !fc and r = !fb /. !fc in
+               let p = s *. ((2. *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.))) in
+               (p, (q -. 1.) *. (r -. 1.) *. (s -. 1.))
+             end
+           in
+           let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+           let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+           let min2 = Float.abs (!e *. q) in
+           if 2. *. p < Float.min min1 min2 then begin
+             e := !d;
+             d := p /. q
+           end
+           else begin
+             d := xm;
+             e := xm
+           end
+         end
+         else begin
+           d := xm;
+           e := xm
+         end;
+         a := !b;
+         fa := !fb;
+         if Float.abs !d > tol1 then b := !b +. !d
+         else b := !b +. Float.copy_sign tol1 xm;
+         fb := f !b;
+         if same_strict_sign !fb !fc then begin
+           c := !a;
+           fc := !fa;
+           d := !b -. !a;
+           e := !d
+         end
+       done;
+       answer := !b
+     with Exit -> ());
+    !answer
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let x = ref x0 in
+  let answer = ref None in
+  (try
+     for _ = 1 to max_iter do
+       let fx = f !x in
+       let dfx = df !x in
+       if dfx = 0. then raise (Not_converged "Newton: zero derivative");
+       let step = fx /. dfx in
+       x := !x -. step;
+       if Float.abs step <= tol *. Float.max 1. (Float.abs !x) then begin
+         answer := Some !x;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !answer with
+  | Some r -> r
+  | None -> raise (Not_converged "Newton: iteration budget exhausted")
+
+let expand_bracket_upward ?(growth = 2.) ?(max_expansions = 100) ~f lo =
+  let flo = f lo in
+  if flo = 0. then (lo, lo)
+  else begin
+    let step = ref (Float.max 1. (Float.abs lo *. 0.1)) in
+    let hi = ref (lo +. !step) in
+    let rec search n =
+      if n > max_expansions then raise No_bracket
+      else begin
+        let fhi = f !hi in
+        if fhi = 0. || not (same_strict_sign flo fhi) then (lo, !hi)
+        else begin
+          step := !step *. growth;
+          hi := !hi +. !step;
+          search (n + 1)
+        end
+      end
+    in
+    search 0
+  end

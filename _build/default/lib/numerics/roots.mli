@@ -1,0 +1,45 @@
+(** Scalar root finding.
+
+    Solving the LoPC all-to-all model amounts to finding the fixed point of
+    a decreasing map [F] — equivalently a root of [fun r -> F r -. r] —
+    which §5.3 notes is a quartic. These solvers do that robustly without
+    assuming polynomial structure. *)
+
+exception No_bracket
+(** Raised when a bracketing interval does not actually bracket a sign
+    change. *)
+
+exception Not_converged of string
+(** Raised when an iteration budget is exhausted before reaching the
+    requested tolerance. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds a root of [f] in [\[lo, hi\]] by bisection.
+    [tol] (default [1e-9]) bounds the final interval width.
+    @raise No_bracket if [f lo] and [f hi] have the same strict sign. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [brent ~f lo hi] finds a root with Brent's method — inverse quadratic
+    interpolation and secant steps guarded by bisection; superlinear on
+    smooth functions, never worse than bisection.
+    @raise No_bracket if the interval does not bracket a sign change. *)
+
+val newton :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float
+(** [newton ~f ~df x0] runs Newton–Raphson from [x0].
+    @raise Not_converged on a vanishing derivative or exhausted budget. *)
+
+val expand_bracket_upward :
+  ?growth:float -> ?max_expansions:int -> f:(float -> float) -> float -> float * float
+(** [expand_bracket_upward ~f lo] finds [hi > lo] with [f lo] and [f hi] of
+    opposite sign by geometric expansion — used to bracket the LoPC fixed
+    point above its contention-free lower bound.
+    @raise No_bracket if no sign change is found within the expansion
+    budget. *)

@@ -1,0 +1,91 @@
+type t = Xoshiro256.t
+
+let create seed = Xoshiro256.create (Int64.of_int seed)
+
+let split t =
+  let child = Xoshiro256.copy t in
+  Xoshiro256.jump child;
+  (* Move the parent past the child's 2^128-long stream as well, so further
+     splits from either never overlap. *)
+  Xoshiro256.jump t;
+  Xoshiro256.jump t;
+  child
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
+let bits64 = Xoshiro256.next
+
+let float = Xoshiro256.next_float
+
+let float_range t lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) || lo > hi then
+    invalid_arg "Rng.float_range: invalid bounds";
+  lo +. ((hi -. lo) *. float t)
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw bound64 in
+    if Int64.sub (Int64.add raw (Int64.sub bound64 1L)) v < 0L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Rng.int_range: empty range";
+  lo + int_below t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  float t < p
+
+let exponential t mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  (* 1 - float t is in (0,1], so log never sees 0. *)
+  -.mean *. log (1. -. float t)
+
+let gaussian t =
+  let rec polar () =
+    let u = float_range t (-1.) 1. and v = float_range t (-1.) 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then polar () else u *. sqrt (-2. *. log s /. s)
+  in
+  polar ()
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int_below t (Array.length a))
+
+let choose_weighted t weights =
+  let total =
+    Array.fold_left
+      (fun acc w ->
+        if w < 0. || not (Float.is_finite w) then
+          invalid_arg "Rng.choose_weighted: negative or non-finite weight";
+        acc +. w)
+      0. weights
+  in
+  if total <= 0. then invalid_arg "Rng.choose_weighted: weights sum to zero";
+  let target = float t *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

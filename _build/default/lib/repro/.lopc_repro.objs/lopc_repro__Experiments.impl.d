@@ -1,0 +1,1 @@
+lib/repro/experiments.ml: Array Float List Lopc Lopc_activemsg Lopc_dist Lopc_markov Lopc_mva Lopc_stats Lopc_topology Lopc_workloads Printf Table

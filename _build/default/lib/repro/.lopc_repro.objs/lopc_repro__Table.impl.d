@@ -1,0 +1,1 @@
+lib/repro/table.ml: Array Buffer Float Format List Printf Stdlib String

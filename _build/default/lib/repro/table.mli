@@ -1,0 +1,33 @@
+(** Tabular output shared by the reproduction harness.
+
+    Every experiment produces a {!t}: a caption, column headers and rows
+    of cells. The printer renders aligned ASCII (as the harness shows on
+    stdout) and CSV (for plotting the figures externally). *)
+
+type cell =
+  | Float of float      (** Rendered with [%.6g]. *)
+  | Int of int
+  | Text of string
+  | Missing             (** Rendered as ["-"]. *)
+
+type t = {
+  caption : string;
+  columns : string list;
+  rows : cell list list;
+}
+
+val create : caption:string -> columns:string list -> cell list list -> t
+(** @raise Invalid_argument if any row length differs from the header
+    length. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned plain-text rendering with the caption on top. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (caption as a [#] comment line). *)
+
+val column : t -> string -> float array
+(** [column t name] extracts a numeric column (Float and Int cells;
+    Missing becomes [nan]).
+    @raise Not_found if no column has that name.
+    @raise Invalid_argument if the column contains text. *)

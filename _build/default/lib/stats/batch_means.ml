@@ -1,0 +1,33 @@
+type t = {
+  batch_size : int;
+  batch_stats : Welford.t; (* one observation per completed batch *)
+  mutable in_batch : int;
+  mutable batch_sum : float;
+  mutable total : int;
+}
+
+let create ~batch_size =
+  if batch_size <= 0 then invalid_arg "Batch_means.create: batch_size <= 0";
+  { batch_size; batch_stats = Welford.create (); in_batch = 0; batch_sum = 0.; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  t.batch_sum <- t.batch_sum +. x;
+  t.in_batch <- t.in_batch + 1;
+  if t.in_batch = t.batch_size then begin
+    Welford.add t.batch_stats (t.batch_sum /. Float.of_int t.batch_size);
+    t.in_batch <- 0;
+    t.batch_sum <- 0.
+  end
+
+let count t = t.total
+
+let completed_batches t = Welford.count t.batch_stats
+
+let mean t = Welford.mean t.batch_stats
+
+let half_width t = Welford.confidence_interval t.batch_stats
+
+let relative_half_width t =
+  let m = mean t in
+  if Float.is_nan m || m = 0. then Float.nan else Float.abs (half_width t /. m)

@@ -1,0 +1,36 @@
+(** Batch-means confidence intervals for steady-state simulation output.
+
+    Successive per-cycle observations from a simulation are autocorrelated,
+    so the naive Welford confidence interval is too tight. The batch-means
+    method groups the stream into consecutive batches, treats batch means
+    as (approximately) independent, and derives the interval from their
+    spread — the standard approach for the steady-state means LoPC is
+    validated against. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : batch_size:int -> t
+(** [create ~batch_size] groups every [batch_size] consecutive
+    observations into one batch. @raise Invalid_argument if
+    [batch_size <= 0]. *)
+
+val add : t -> float -> unit
+(** Fold one observation. *)
+
+val count : t -> int
+(** Total observations folded (including any incomplete final batch). *)
+
+val completed_batches : t -> int
+(** Number of full batches so far. *)
+
+val mean : t -> float
+(** Grand mean over completed batches; [nan] when none are complete. *)
+
+val half_width : t -> float
+(** Half-width of the ~95% confidence interval on the mean computed from
+    batch means (normal critical value 1.96); [nan] with fewer than two
+    complete batches. *)
+
+val relative_half_width : t -> float
+(** [half_width / |mean|]; [nan] when undefined. *)

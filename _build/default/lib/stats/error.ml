@@ -1,0 +1,41 @@
+let relative ~predicted ~measured =
+  if measured = 0. then invalid_arg "Error.relative: measured value is zero";
+  (predicted -. measured) /. measured
+
+let percent ~predicted ~measured = 100. *. relative ~predicted ~measured
+
+let absolute ~predicted ~measured = predicted -. measured
+
+type summary = {
+  max_abs_percent : float;
+  mean_abs_percent : float;
+  worst_index : int;
+  bias_percent : float;
+}
+
+let summarize ~predicted ~measured =
+  let n = Array.length predicted in
+  if n = 0 then invalid_arg "Error.summarize: empty series";
+  if Array.length measured <> n then invalid_arg "Error.summarize: length mismatch";
+  let max_abs = ref 0. and worst = ref 0 and abs_sum = ref 0. and signed_sum = ref 0. in
+  for i = 0 to n - 1 do
+    let e = percent ~predicted:predicted.(i) ~measured:measured.(i) in
+    let a = Float.abs e in
+    if a > !max_abs then begin
+      max_abs := a;
+      worst := i
+    end;
+    abs_sum := !abs_sum +. a;
+    signed_sum := !signed_sum +. e
+  done;
+  let nf = Float.of_int n in
+  {
+    max_abs_percent = !max_abs;
+    mean_abs_percent = !abs_sum /. nf;
+    worst_index = !worst;
+    bias_percent = !signed_sum /. nf;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "max |err| %.1f%% (at index %d), MAPE %.1f%%, bias %+.1f%%"
+    s.max_abs_percent s.worst_index s.mean_abs_percent s.bias_percent

@@ -1,0 +1,33 @@
+(** Error metrics for model-versus-measurement validation.
+
+    The paper's accuracy claims are phrased as signed relative errors
+    ("LoPC overestimates total runtime by 6% in the worst case", "the
+    contention-free model under predicts total run time by 37%"). These
+    helpers compute exactly those quantities for single points and sweeps. *)
+
+val relative : predicted:float -> measured:float -> float
+(** Signed relative error [(predicted − measured) / measured]. Positive
+    means the model is pessimistic (over-predicts).
+    @raise Invalid_argument if [measured = 0.]. *)
+
+val percent : predicted:float -> measured:float -> float
+(** [100 ×. relative]. *)
+
+val absolute : predicted:float -> measured:float -> float
+(** [predicted − measured]. *)
+
+type summary = {
+  max_abs_percent : float;  (** Largest magnitude of signed percent error. *)
+  mean_abs_percent : float; (** Mean of |percent error| (MAPE). *)
+  worst_index : int;        (** Index attaining [max_abs_percent]. *)
+  bias_percent : float;     (** Mean signed percent error. *)
+}
+(** Aggregate error over a parameter sweep. *)
+
+val summarize : predicted:float array -> measured:float array -> summary
+(** [summarize ~predicted ~measured] pairs up the two series.
+    @raise Invalid_argument if lengths differ, the arrays are empty, or a
+    measured value is zero. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render e.g. ["max |err| 5.8% (at index 0), MAPE 2.1%, bias +1.9%"]. *)

@@ -1,0 +1,43 @@
+(** Fixed-width bucket histograms.
+
+    Used to inspect simulated service-time and response-time distributions
+    (e.g. to confirm the simulator's handler-time [C²] matches the
+    distribution the model was given). Values below the range go to an
+    underflow bucket, values at or above the top go to an overflow
+    bucket. *)
+
+type t
+(** Mutable histogram. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal buckets.
+    @raise Invalid_argument if [lo >= hi] or [bins <= 0]. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+(** Total observations, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] is the population of bucket [i] (0-based).
+    @raise Invalid_argument if [i] is out of range. *)
+
+val underflow : t -> int
+(** Observations below [lo]. *)
+
+val overflow : t -> int
+(** Observations at or above [hi]. *)
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds t i] is the half-open interval covered by bucket [i]. *)
+
+val bins : t -> int
+(** Number of buckets. *)
+
+val fraction_below : t -> float -> float
+(** [fraction_below t x] estimates the CDF at [x] from bucket populations
+    (buckets straddling [x] contribute pro-rata); [nan] when empty. *)
+
+val pp : ?width:int -> Format.formatter -> t -> unit
+(** ASCII rendering with bars scaled to [width] characters (default 40). *)

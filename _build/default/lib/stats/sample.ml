@@ -1,0 +1,48 @@
+type t = { data : float array; mean : float; variance : float }
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Sample.of_array: empty sample";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then invalid_arg "Sample.of_array: non-finite value")
+    a;
+  let data = Array.copy a in
+  Array.sort compare data;
+  let n = Float.of_int (Array.length data) in
+  let mean = Array.fold_left ( +. ) 0. data /. n in
+  let variance =
+    if Array.length data < 2 then 0.
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. data /. (n -. 1.)
+  in
+  { data; mean; variance }
+
+let of_list l = of_array (Array.of_list l)
+
+let size t = Array.length t.data
+
+let mean t = t.mean
+
+let variance t = t.variance
+
+let stddev t = sqrt t.variance
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Sample.quantile: q outside [0,1]";
+  let n = Array.length t.data in
+  if n = 1 then t.data.(0)
+  else begin
+    let h = q *. Float.of_int (n - 1) in
+    let i = int_of_float (Float.floor h) in
+    let frac = h -. Float.of_int i in
+    if i >= n - 1 then t.data.(n - 1)
+    else t.data.(i) +. (frac *. (t.data.(i + 1) -. t.data.(i)))
+  end
+
+let median t = quantile t 0.5
+
+let min t = t.data.(0)
+
+let max t = t.data.(Array.length t.data - 1)
+
+let iqr t = quantile t 0.75 -. quantile t 0.25

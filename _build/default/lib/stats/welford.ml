@@ -1,0 +1,69 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min = Float.nan; max = Float.nan }
+
+let copy t = { t with n = t.n }
+
+let add t x =
+  if not (Float.is_finite x) then invalid_arg "Welford.add: non-finite observation";
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. Float.of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.min <- x;
+    t.max <- x
+  end
+  else begin
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then Float.nan else t.mean
+
+let variance t = if t.n < 2 then 0. else t.m2 /. Float.of_int (t.n - 1)
+
+let population_variance t = if t.n = 0 then 0. else t.m2 /. Float.of_int t.n
+
+let stddev t = sqrt (variance t)
+
+let scv t =
+  if t.n = 0 || t.mean = 0. then 0.
+  else population_variance t /. (t.mean *. t.mean)
+
+let min t = t.min
+
+let max t = t.max
+
+let total t = t.mean *. Float.of_int t.n
+
+let merge a b =
+  if a.n = 0 then copy b
+  else if b.n = 0 then copy a
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let nf = Float.of_int n in
+    let mean = a.mean +. (delta *. Float.of_int b.n /. nf) in
+    let m2 =
+      a.m2 +. b.m2 +. (delta *. delta *. Float.of_int a.n *. Float.of_int b.n /. nf)
+    in
+    {
+      n;
+      mean;
+      m2;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+    }
+  end
+
+let confidence_interval t =
+  if t.n < 2 then Float.nan else 1.96 *. stddev t /. sqrt (Float.of_int t.n)

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/workloads/matvec.ml: Float Lopc Printf

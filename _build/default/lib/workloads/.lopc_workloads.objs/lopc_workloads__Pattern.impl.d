@@ -1,0 +1,1 @@
+lib/workloads/pattern.ml: Array Float Format Lopc Lopc_activemsg Lopc_dist Printf

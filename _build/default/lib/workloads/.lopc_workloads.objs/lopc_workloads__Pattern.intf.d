@@ -1,0 +1,1 @@
+lib/workloads/pattern.mli: Lopc Lopc_activemsg Lopc_dist

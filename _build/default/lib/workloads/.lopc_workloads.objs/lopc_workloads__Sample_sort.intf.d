@@ -1,0 +1,1 @@
+lib/workloads/sample_sort.mli: Lopc

@@ -1,0 +1,35 @@
+type t = { keys : int; p : int; key_cost : float }
+
+let create ~keys ~p ~key_cost =
+  if p < 2 then invalid_arg "Sample_sort: need at least two processors";
+  if keys <= 0 || keys mod p <> 0 then
+    invalid_arg "Sample_sort: keys must be a positive multiple of P";
+  if key_cost <= 0. || not (Float.is_finite key_cost) then
+    invalid_arg "Sample_sort: key cost must be positive";
+  { keys; p; key_cost }
+
+let keys_per_node t = t.keys / t.p
+
+let messages_per_node t =
+  Float.of_int (keys_per_node t) *. Float.of_int (t.p - 1) /. Float.of_int t.p
+
+let work_between_requests t = t.key_cost *. Float.of_int t.p /. Float.of_int (t.p - 1)
+
+let characterize t =
+  Lopc.Params.algorithm
+    ~n:(int_of_float (Float.round (messages_per_node t)))
+    ~w:(work_between_requests t)
+
+let check_p (params : Lopc.Params.t) t =
+  if params.p <> t.p then
+    invalid_arg
+      (Printf.sprintf "Sample_sort: parameter set has P=%d but workload has P=%d"
+         params.p t.p)
+
+let lopc_runtime params t =
+  check_p params t;
+  Lopc.All_to_all.total_runtime params (characterize t)
+
+let logp_runtime params t =
+  check_p params t;
+  Lopc.Logp.total_runtime params (characterize t)

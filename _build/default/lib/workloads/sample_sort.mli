@@ -1,0 +1,42 @@
+(** Key-distribution phase of a parallel sort (after Dusseau's LogP sorting
+    study, the paper's reference [8] and §1 motivation).
+
+    [keys] keys are spread evenly over [p] nodes. Each node scans its
+    local keys, determines every key's destination bucket (uniformly
+    random for random input) and sends it there with a blocking put —
+    irregular, homogeneous all-to-all traffic. A fraction [(p−1)/p] of
+    keys leave the node, so between consecutive remote puts a node does
+    the per-key work of [p/(p−1)] keys on average.
+
+    This is exactly the class of algorithm whose LogP analyses
+    under-predicted run time in Dusseau's study; the LoPC characterization
+    below prices the missing contention. *)
+
+type t = {
+  keys : int;       (** Total keys, a positive multiple of [p]. *)
+  p : int;          (** Processor count, at least 2. *)
+  key_cost : float; (** Cycles to bucket and copy one key. *)
+}
+
+val create : keys:int -> p:int -> key_cost:float -> t
+(** @raise Invalid_argument if the invariants above fail. *)
+
+val keys_per_node : t -> int
+(** [keys / p]. *)
+
+val messages_per_node : t -> float
+(** Expected remote puts per node, [keys/p ·. (p−1)/p]. *)
+
+val work_between_requests : t -> float
+(** [W = key_cost ·. p/(p−1)]. *)
+
+val characterize : t -> Lopc.Params.algorithm
+(** The [(n, W)] pair (with [n] rounded to the nearest integer). *)
+
+val lopc_runtime : Lopc.Params.t -> t -> float
+(** LoPC prediction of the distribution phase.
+    @raise Invalid_argument if [params.p <> t.p]. *)
+
+val logp_runtime : Lopc.Params.t -> t -> float
+(** Contention-free LogP prediction — the analysis that under-predicted
+    in the motivating study. *)

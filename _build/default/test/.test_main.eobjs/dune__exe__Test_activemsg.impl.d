@@ -1,0 +1,1 @@
+test/test_activemsg.ml: Alcotest Array Float Format List Lopc_activemsg Lopc_dist Lopc_prng Lopc_stats Printf QCheck QCheck_alcotest String

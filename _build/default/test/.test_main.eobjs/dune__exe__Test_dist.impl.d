@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Float List Lopc_dist Lopc_prng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Array Float List Lopc_eventsim Lopc_prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float List Lopc Lopc_activemsg Lopc_dist Lopc_stats Lopc_workloads

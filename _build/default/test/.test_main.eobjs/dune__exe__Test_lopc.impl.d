@@ -1,0 +1,1 @@
+test/test_lopc.ml: Alcotest Array Float List Lopc Lopc_numerics Lopc_workloads Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Float List Lopc Lopc_activemsg Lopc_dist Lopc_markov Printf

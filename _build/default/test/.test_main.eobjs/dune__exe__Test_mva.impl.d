@@ -1,0 +1,1 @@
+test/test_mva.ml: Alcotest Array Float Lopc_mva QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Gen List Lopc_numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Lopc_prng QCheck QCheck_alcotest

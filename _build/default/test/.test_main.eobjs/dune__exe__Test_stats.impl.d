@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen List Lopc_prng Lopc_stats QCheck QCheck_alcotest

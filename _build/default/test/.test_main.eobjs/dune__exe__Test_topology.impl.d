@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Float List Lopc Lopc_activemsg Lopc_dist Lopc_topology

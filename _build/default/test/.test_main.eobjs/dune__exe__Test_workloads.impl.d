@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float List Lopc Lopc_activemsg Lopc_dist Lopc_prng Lopc_workloads QCheck QCheck_alcotest String

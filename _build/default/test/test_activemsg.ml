@@ -1,0 +1,752 @@
+(* Tests for lopc_activemsg: spec construction, simulator exactness in
+   contention-free configurations, conservation laws, determinism. *)
+
+module D = Lopc_dist.Distribution
+module Spec = Lopc_activemsg.Spec
+module Machine = Lopc_activemsg.Machine
+module Metrics = Lopc_activemsg.Metrics
+module Welford = Lopc_stats.Welford
+module Rng = Lopc_prng.Rng
+
+let feq tol = Alcotest.(check (float tol))
+
+let single_client_spec ?(protocol_processor = false) ~work ~handler ~wire () =
+  {
+    Spec.nodes = 2;
+    threads = [| None; Some { Spec.work; route = (fun _ -> [ 0 ]); window = 1 } |];
+    handler;
+    reply_handler = handler;
+    wire;
+    protocol_processor;
+    gap = 0.;
+    polling = false;
+    initial_delay = None;
+    barrier = None;
+    topology = None;
+  }
+
+let test_contention_free_exact () =
+  (* One client, one server, constants: R must be exactly W + 2St + 2So. *)
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:500 () in
+  feq 1e-9 "R exact" 150. (Metrics.mean_response r.Machine.metrics);
+  feq 1e-9 "Rw = W" 100. (Welford.mean r.Machine.metrics.Metrics.rw);
+  feq 1e-9 "Rq = So" 20. (Welford.mean r.Machine.metrics.Metrics.rq);
+  feq 1e-9 "Ry = So" 20. (Welford.mean r.Machine.metrics.Metrics.ry);
+  feq 1e-9 "wire = 2 St" 10. (Welford.mean r.Machine.metrics.Metrics.wire_time)
+
+let test_contention_free_throughput_littles_law () =
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:500 () in
+  (* X·R = 1 thread. *)
+  feq 1e-6 "Little" 1.
+    (Metrics.throughput r.Machine.metrics *. Metrics.mean_response r.Machine.metrics)
+
+let test_utilization_identities () =
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:2000 () in
+  let m = r.Machine.metrics in
+  (* Per cycle of 150: server busy 20 => avg request util over 2 nodes is
+     20/150/2; client reply util 20/150/2; thread util 100/150/2. *)
+  feq 1e-6 "Uq" (20. /. 150. /. 2.) (Metrics.avg_request_util m);
+  feq 1e-6 "Uy" (20. /. 150. /. 2.) (Metrics.avg_reply_util m);
+  feq 1e-6 "thread util" (100. /. 150. /. 2.) (Metrics.avg_thread_util m)
+
+let test_queue_littles_law () =
+  (* Qq = lambda * Rq at the server in the deterministic case. *)
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:2000 () in
+  let m = r.Machine.metrics in
+  feq 1e-6 "Qq via Little" (20. /. 150. /. 2.) (Metrics.avg_request_queue m)
+
+let test_protocol_processor_no_preemption () =
+  (* With a protocol processor, handlers never inflate Rw even under heavy
+     incoming traffic. *)
+  let spec =
+    Spec.all_to_all ~protocol_processor:true ~nodes:8 ~work:(D.Constant 100.)
+      ~handler:(D.Constant 50.) ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:20_000 () in
+  feq 1e-9 "Rw = W exactly" 100. (Welford.mean r.Machine.metrics.Metrics.rw)
+
+let test_message_passing_preemption_inflates_rw () =
+  let spec =
+    Spec.all_to_all ~nodes:8 ~work:(D.Constant 100.) ~handler:(D.Constant 50.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:20_000 () in
+  Alcotest.(check bool) "Rw > W under interrupts" true
+    (Welford.mean r.Machine.metrics.Metrics.rw > 100.)
+
+let test_determinism () =
+  let mk () =
+    Spec.all_to_all ~nodes:4 ~work:(D.Exponential 100.) ~handler:(D.Exponential 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let a = Machine.run ~seed:7 ~spec:(mk ()) ~cycles:5000 () in
+  let b = Machine.run ~seed:7 ~spec:(mk ()) ~cycles:5000 () in
+  feq 0. "identical runs" (Metrics.mean_response a.Machine.metrics)
+    (Metrics.mean_response b.Machine.metrics);
+  let c = Machine.run ~seed:8 ~spec:(mk ()) ~cycles:5000 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Metrics.mean_response a.Machine.metrics <> Metrics.mean_response c.Machine.metrics)
+
+let test_handler_service_scv_observed () =
+  (* The machine must actually impose the requested handler C². *)
+  let spec =
+    Spec.all_to_all ~nodes:8 ~work:(D.Exponential 500.)
+      ~handler:(D.of_mean_scv ~mean:100. ~scv:0.5) ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:40_000 () in
+  let observed = Welford.scv r.Machine.metrics.Metrics.handler_service in
+  Alcotest.(check bool) "observed C2 ~ 0.5" true (Float.abs (observed -. 0.5) < 0.05);
+  feq 2. "observed mean ~ 100" 100.
+    (Float.round (Welford.mean r.Machine.metrics.Metrics.handler_service /. 2.) *. 2.)
+
+let test_multi_hop_wire_count () =
+  (* Two hops: wire = 3 traversals (2 requests + 1 reply). *)
+  let spec =
+    {
+      Spec.nodes = 3;
+      threads =
+        [| Some { Spec.work = D.Constant 50.; route = (fun _ -> [ 1; 2 ]); window = 1 }; None; None |];
+      handler = D.Constant 10.;
+      reply_handler = D.Constant 10.;
+      wire = D.Constant 7.;
+      protocol_processor = false;
+      gap = 0.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  let r = Machine.run ~spec ~cycles:500 () in
+  feq 1e-9 "3 wire traversals" 21. (Welford.mean r.Machine.metrics.Metrics.wire_time);
+  (* Two request handlers, contention free: Rq = 2·So. *)
+  feq 1e-9 "Rq sums hops" 20. (Welford.mean r.Machine.metrics.Metrics.rq);
+  feq 1e-9 "R full" (50. +. 21. +. 20. +. 10.) (Metrics.mean_response r.Machine.metrics)
+
+let test_self_request_allowed () =
+  (* A route to the origin itself runs both handlers locally. *)
+  let spec =
+    {
+      Spec.nodes = 2;
+      threads = [| Some { Spec.work = D.Constant 10.; route = (fun _ -> [ 0 ]); window = 1 }; None |];
+      handler = D.Constant 3.;
+      reply_handler = D.Constant 3.;
+      wire = D.Constant 1.;
+      protocol_processor = false;
+      gap = 0.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  let r = Machine.run ~spec ~cycles:200 () in
+  feq 1e-9 "self request cycle" (10. +. 2. +. 6.) (Metrics.mean_response r.Machine.metrics)
+
+let test_round_robin_route_cycles () =
+  let route = Spec.round_robin ~nodes:4 ~origin:1 in
+  let g = Rng.create 1 in
+  let seq = List.concat_map (fun _ -> route g) [ (); (); (); (); (); () ] in
+  Alcotest.(check (list int)) "cycles through others" [ 2; 3; 0; 2; 3; 0 ] seq
+
+let test_uniform_other_excludes_origin () =
+  let route = Spec.uniform_other ~nodes:5 ~origin:2 in
+  let g = Rng.create 3 in
+  for _ = 1 to 1000 do
+    match route g with
+    | [ d ] ->
+      if d = 2 || d < 0 || d >= 5 then Alcotest.failf "bad destination %d" d
+    | _ -> Alcotest.fail "expected single hop"
+  done
+
+let test_hotspot_fraction () =
+  let route = Spec.hotspot ~nodes:10 ~origin:1 ~hot:0 ~fraction:0.4 in
+  let g = Rng.create 9 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match route g with
+    | [ 0 ] -> incr hits
+    | [ _ ] -> ()
+    | _ -> Alcotest.fail "expected single hop"
+  done;
+  (* P(hot) = 0.4 + 0.6/9. *)
+  let expected = 0.4 +. (0.6 /. 9.) in
+  let frac = Float.of_int !hits /. Float.of_int n in
+  Alcotest.(check bool) "hot fraction" true (Float.abs (frac -. expected) < 0.02)
+
+let test_spec_validation () =
+  (match
+     Spec.validate
+       {
+         Spec.nodes = 0;
+         threads = [||];
+         handler = D.Constant 1.;
+         reply_handler = D.Constant 1.;
+         wire = D.Constant 1.;
+         protocol_processor = false;
+         gap = 0.;
+         polling = false;
+         initial_delay = None;
+         barrier = None;
+         topology = None;
+       }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero nodes accepted");
+  match
+    Spec.validate
+      {
+        Spec.nodes = 2;
+        threads = [| None; None |];
+        handler = D.Uniform (5., 1.);
+        reply_handler = D.Constant 1.;
+        wire = D.Constant 1.;
+        protocol_processor = false;
+        gap = 0.;
+        polling = false;
+        initial_delay = None;
+        barrier = None;
+        topology = None;
+      }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid handler distribution accepted"
+
+let test_run_validation () =
+  let spec =
+    single_client_spec ~work:(D.Constant 1.) ~handler:(D.Constant 1.) ~wire:(D.Constant 1.) ()
+  in
+  Alcotest.(check bool) "cycles <= 0 rejected" true
+    (try
+       ignore (Machine.run ~spec ~cycles:0 ());
+       false
+     with Invalid_argument _ -> true);
+  let no_threads = { spec with Spec.threads = [| None; None |] } in
+  Alcotest.(check bool) "threadless machine rejected" true
+    (try
+       ignore (Machine.run ~spec:no_threads ~cycles:10 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_route_out_of_range_rejected () =
+  let spec =
+    {
+      Spec.nodes = 2;
+      threads = [| Some { Spec.work = D.Constant 1.; route = (fun _ -> [ 5 ]); window = 1 }; None |];
+      handler = D.Constant 1.;
+      reply_handler = D.Constant 1.;
+      wire = D.Constant 1.;
+      protocol_processor = false;
+      gap = 0.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  Alcotest.(check bool) "bad hop rejected" true
+    (try
+       ignore (Machine.run ~spec ~cycles:10 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_client_server_roles () =
+  let spec =
+    Spec.client_server ~nodes:8 ~servers:3 ~work:(D.Constant 10.) ~handler:(D.Constant 2.)
+      ~wire:(D.Constant 1.) ()
+  in
+  for i = 0 to 2 do
+    Alcotest.(check bool) (Printf.sprintf "node %d is server" i) true
+      (spec.Spec.threads.(i) = None)
+  done;
+  for i = 3 to 7 do
+    Alcotest.(check bool) (Printf.sprintf "node %d is client" i) true
+      (spec.Spec.threads.(i) <> None)
+  done
+
+let test_window_pipeline_exact () =
+  (* Window 2, constant distributions, round trip far shorter than W: the
+     pipeline fills and the thread never blocks. Each steady-state cycle
+     is W plus one reply-handler preemption: X = 1/(W + So). The request
+     latency is 2·St + 2·So (no queueing anywhere). *)
+  let spec =
+    {
+      Spec.nodes = 2;
+      threads =
+        [| None;
+           Some { Spec.work = D.Constant 100.; route = (fun _ -> [ 0 ]); window = 2 } |];
+      handler = D.Constant 10.;
+      reply_handler = D.Constant 10.;
+      wire = D.Constant 5.;
+      protocol_processor = false;
+      gap = 0.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  let r = Machine.run ~spec ~cycles:2000 () in
+  let m = r.Machine.metrics in
+  feq 1e-9 "throughput 1/(W+So)" (1. /. 110.) (Metrics.throughput m);
+  feq 1e-9 "latency 2St + 2So" 30. (Welford.mean m.Metrics.latency);
+  feq 1e-9 "Rw = W + So preemption" 110. (Welford.mean m.Metrics.rw)
+
+let test_window_one_has_blocking_semantics () =
+  (* window = 1 must reproduce the blocking numbers exactly. *)
+  let spec =
+    {
+      Spec.nodes = 2;
+      threads =
+        [| None;
+           Some { Spec.work = D.Constant 100.; route = (fun _ -> [ 0 ]); window = 1 } |];
+      handler = D.Constant 10.;
+      reply_handler = D.Constant 10.;
+      wire = D.Constant 5.;
+      protocol_processor = false;
+      gap = 0.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  let r = Machine.run ~spec ~cycles:1000 () in
+  feq 1e-9 "R = W + 2St + 2So" 130. (Metrics.mean_response r.Machine.metrics);
+  feq 1e-9 "latency = R - W" 30. (Welford.mean r.Machine.metrics.Metrics.latency)
+
+let test_window_validation () =
+  let spec =
+    {
+      Spec.nodes = 2;
+      threads =
+        [| None; Some { Spec.work = D.Constant 1.; route = (fun _ -> [ 0 ]); window = 0 } |];
+      handler = D.Constant 1.;
+      reply_handler = D.Constant 1.;
+      wire = D.Constant 1.;
+      protocol_processor = false;
+      gap = 0.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  match Spec.validate spec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "window 0 accepted"
+
+let test_window_increases_throughput () =
+  let mk window =
+    Spec.all_to_all ~window ~nodes:8 ~work:(D.Exponential 500.)
+      ~handler:(D.Exponential 100.) ~wire:(D.Constant 20.) ()
+  in
+  let x window =
+    Metrics.throughput (Machine.run ~spec:(mk window) ~cycles:20_000 ()).Machine.metrics
+  in
+  Alcotest.(check bool) "window 4 beats window 1" true (x 4 > x 1 *. 1.05)
+
+let test_polling_defers_handlers () =
+  (* Deterministic scenario: node 1 (W=35) sends to node 0 (W=100), both
+     constant. Under polling, node 0 finishes its quantum before serving
+     the request, so node 1's first cycle takes
+     35 + 5 + (wait 60 + 10) + 5 + 10 = 125; under interrupts it takes
+     35 + 5 + 10 + 5 + 10 = 65. *)
+  let mk polling =
+    {
+      Spec.nodes = 3;
+      threads =
+        [| Some { Spec.work = D.Constant 100.; route = (fun _ -> [ 2 ]); window = 1 };
+           Some { Spec.work = D.Constant 35.; route = (fun _ -> [ 0 ]); window = 1 };
+           None |];
+      handler = D.Constant 10.;
+      reply_handler = D.Constant 10.;
+      wire = D.Constant 5.;
+      protocol_processor = false;
+      gap = 0.;
+      polling;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  let first_r polling =
+    let r = Machine.run ~warmup_cycles:0 ~spec:(mk polling) ~cycles:1 () in
+    Metrics.mean_response r.Machine.metrics
+  in
+  feq 1e-9 "interrupt first cycle" 65. (first_r false);
+  feq 1e-9 "polling first cycle" 125. (first_r true)
+
+let test_polling_never_preempts () =
+  (* Under polling Rw never exceeds W plus queue-drain waits at cycle
+     start; with constant work the thread quantum itself is never cut. *)
+  let spec =
+    Spec.all_to_all ~polling:true ~nodes:8 ~work:(D.Constant 300.)
+      ~handler:(D.Constant 50.) ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:10_000 () in
+  (* The minimum observed Rw must be exactly W (a cycle with no waiting). *)
+  feq 1e-9 "min Rw = W" 300. (Welford.min r.Machine.metrics.Metrics.rw)
+
+let test_polling_pp_mutually_exclusive () =
+  let spec =
+    {
+      (Spec.all_to_all ~polling:true ~nodes:4 ~work:(D.Constant 1.)
+         ~handler:(D.Constant 1.) ~wire:(D.Constant 1.) ())
+      with
+      Spec.protocol_processor = true;
+    }
+  in
+  match Spec.validate spec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "polling + protocol processor accepted"
+
+let test_gap_serializes_ni () =
+  (* Two clients send to one server simultaneously with gap 8: the wire
+     arrivals coincide, so the server's receive NI serializes them 8
+     apart. Hand-computed first-cycle times: both send at 100, inject by
+     108, wire-arrive 113; deliveries at 121 and 129; handlers (2) finish
+     123 and 131; reply injections finish 131 and 139; wire-arrive 136
+     and 144; client NIs deliver 144 and 152; reply handlers finish 146
+     and 154. *)
+  let spec =
+    {
+      Spec.nodes = 3;
+      threads =
+        [| None;
+           Some { Spec.work = D.Constant 100.; route = (fun _ -> [ 0 ]); window = 1 };
+           Some { Spec.work = D.Constant 100.; route = (fun _ -> [ 0 ]); window = 1 } |];
+      handler = D.Constant 2.;
+      reply_handler = D.Constant 2.;
+      wire = D.Constant 5.;
+      protocol_processor = false;
+      gap = 8.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  let r = Machine.run ~warmup_cycles:0 ~spec ~cycles:2 () in
+  feq 1e-9 "mean of 146 and 154" 150. (Metrics.mean_response r.Machine.metrics)
+
+let test_gap_contention_free_exact () =
+  (* Single client, constants: R = W + 2·(g + St + g) + 2·So exactly. *)
+  let spec =
+    {
+      Spec.nodes = 2;
+      threads = [| None; Some { Spec.work = D.Constant 100.; route = (fun _ -> [ 0 ]); window = 1 } |];
+      handler = D.Constant 20.;
+      reply_handler = D.Constant 20.;
+      wire = D.Constant 5.;
+      protocol_processor = false;
+      gap = 3.;
+      polling = false;
+      initial_delay = None;
+      barrier = None;
+      topology = None;
+    }
+  in
+  let r = Machine.run ~spec ~cycles:500 () in
+  feq 1e-9 "R includes four NI passages" (100. +. (2. *. (3. +. 5. +. 3.)) +. 40.)
+    (Metrics.mean_response r.Machine.metrics)
+
+let test_gap_zero_unchanged () =
+  (* gap = 0 must leave the original numbers untouched. *)
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:500 () in
+  feq 1e-9 "unchanged" 150. (Metrics.mean_response r.Machine.metrics)
+
+let test_trace_collector () =
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let collector, observe = Lopc_activemsg.Trace.collector ~limit:5 () in
+  ignore (Machine.run ~warmup_cycles:10 ~on_cycle:observe ~spec ~cycles:50 ());
+  let reports = Lopc_activemsg.Trace.reports collector in
+  Alcotest.(check int) "bounded at limit" 5 (List.length reports);
+  List.iter
+    (fun (r : Machine.cycle_report) ->
+      Alcotest.(check int) "origin is the client" 1 r.Machine.origin;
+      feq 1e-9 "Rw" 100. (r.Machine.sent -. r.Machine.started);
+      feq 1e-9 "cycle" 150. (r.Machine.completed -. r.Machine.started);
+      Alcotest.(check bool) "measured flag" true r.Machine.measured)
+    reports
+
+let test_trace_renders () =
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let collector, observe = Lopc_activemsg.Trace.collector ~limit:3 () in
+  ignore (Machine.run ~warmup_cycles:10 ~on_cycle:observe ~spec ~cycles:20 ());
+  let rendered =
+    Format.asprintf "%a" (Lopc_activemsg.Trace.pp_timeline ~width:40)
+      (Lopc_activemsg.Trace.reports collector)
+  in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "mentions the node" true (contains "node" rendered);
+  Alcotest.(check bool) "has a legend" true (contains "legend" rendered)
+
+let test_observer_sees_warmup_flag () =
+  let spec =
+    single_client_spec ~work:(D.Constant 10.) ~handler:(D.Constant 1.)
+      ~wire:(D.Constant 1.) ()
+  in
+  let saw_unmeasured = ref false and saw_measured = ref false in
+  let observe (r : Machine.cycle_report) =
+    if r.Machine.measured then saw_measured := true else saw_unmeasured := true
+  in
+  ignore (Machine.run ~warmup_cycles:5 ~on_cycle:observe ~spec ~cycles:5 ());
+  Alcotest.(check bool) "observer sees warm-up cycles" true !saw_unmeasured;
+  Alcotest.(check bool) "observer sees measured cycles" true !saw_measured
+
+let test_backlog_metrics () =
+  (* Contention-free single client: every arrival finds an empty node. *)
+  let spec =
+    single_client_spec ~work:(D.Constant 100.) ~handler:(D.Constant 20.)
+      ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:500 () in
+  let m = r.Machine.metrics in
+  Alcotest.(check int) "max backlog 1" 1 (Metrics.max_handler_backlog m);
+  feq 1e-9 "arrivals find empty nodes" 0. (Welford.mean (Metrics.arrival_backlog m))
+
+let test_backlog_grows_under_load () =
+  let spec =
+    Spec.all_to_all ~nodes:16 ~work:(D.Exponential 10.) ~handler:(D.Exponential 200.)
+      ~wire:(D.Constant 40.) ()
+  in
+  let r = Machine.run ~spec ~cycles:20_000 () in
+  let m = r.Machine.metrics in
+  Alcotest.(check bool) "saturated nodes queue deeply" true
+    (Metrics.max_handler_backlog m >= 3);
+  Alcotest.(check bool) "arrivals see queueing" true
+    (Welford.mean (Metrics.arrival_backlog m) > 0.3)
+
+let test_bard_assumption_directly () =
+  (* Bard equates the arrival-instant queue with the steady-state queue.
+     The Arrival Theorem says an arrival actually sees the N−1-customer
+     network, i.e. strictly LESS: measured arrival queues run ~25–40%
+     below the time average. This one-sided gap is the root of LoPC's
+     documented pessimism (+6% worst case). *)
+  let spec =
+    Spec.all_to_all ~nodes:16 ~work:(D.Exponential 1000.)
+      ~handler:(D.Exponential 200.) ~wire:(D.Constant 40.) ()
+  in
+  let r = Machine.run ~spec ~cycles:40_000 () in
+  let m = r.Machine.metrics in
+  let arrival = Welford.mean (Metrics.arrival_backlog m) in
+  let steady = Metrics.avg_request_queue m +. Metrics.avg_reply_queue m in
+  Alcotest.(check bool) "arrivals see less than steady state" true (arrival < steady);
+  Alcotest.(check bool) "but the same order of magnitude" true
+    (arrival > 0.4 *. steady)
+
+let test_barrier_preserves_contention_free_schedule () =
+  (* Synchronized permutation + constant service: the barrier adds cost
+     but the per-cycle response stays exactly contention free, and the
+     round cadence is R + cost. *)
+  let base =
+    Spec.all_to_all ~staggered:true ~nodes:4 ~work:(D.Constant 1000.)
+      ~handler:(D.Constant 10.) ~wire:(D.Constant 5.) ()
+  in
+  let spec = { base with Spec.barrier = Some { Spec.interval = 1; cost = 20. } } in
+  let r = Machine.run ~spec ~cycles:2000 () in
+  feq 1e-9 "R still contention free" 1030. (Metrics.mean_response r.Machine.metrics);
+  feq 1e-6 "cadence includes barrier cost" (4. /. 1050.)
+    (Metrics.throughput r.Machine.metrics)
+
+let test_barrier_resynchronizes_jitter () =
+  (* With jittered work, per-cycle barriers stop the staggered schedule
+     from drifting into the random-arrival regime. *)
+  let run barrier =
+    let base =
+      Spec.all_to_all ~staggered:true ~nodes:16 ~work:(D.Uniform (950., 1050.))
+        ~handler:(D.Constant 200.) ~wire:(D.Constant 40.) ()
+    in
+    let spec = { base with Spec.barrier } in
+    Metrics.mean_response (Machine.run ~spec ~cycles:10_000 ()).Machine.metrics
+  in
+  let without = run None in
+  let with_barrier = run (Some { Spec.interval = 1; cost = 0. }) in
+  Alcotest.(check bool) "barrier reduces response time" true
+    (with_barrier < without -. 50.)
+
+let test_barrier_validation () =
+  let base =
+    Spec.all_to_all ~nodes:4 ~work:(D.Constant 1.) ~handler:(D.Constant 1.)
+      ~wire:(D.Constant 1.) ()
+  in
+  (match Spec.validate { base with Spec.barrier = Some { Spec.interval = 0; cost = 0. } } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "interval 0 accepted");
+  let windowed =
+    Spec.all_to_all ~window:2 ~nodes:4 ~work:(D.Constant 1.) ~handler:(D.Constant 1.)
+      ~wire:(D.Constant 1.) ()
+  in
+  match
+    Spec.validate { windowed with Spec.barrier = Some { Spec.interval = 1; cost = 0. } }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "barrier + windowed accepted"
+
+let test_run_until_confident () =
+  let spec =
+    Spec.all_to_all ~nodes:8 ~work:(D.Exponential 500.) ~handler:(D.Exponential 100.)
+      ~wire:(D.Constant 20.) ()
+  in
+  let result, confidence =
+    Machine.run_until_confident ~rel_precision:0.01 ~batch_cycles:1_000 ~spec ()
+  in
+  Alcotest.(check bool) "converged" true confidence.Machine.converged;
+  Alcotest.(check bool) "precision met" true
+    (confidence.Machine.relative_half_width <= 0.01);
+  (* The converged mean must agree with a long fixed-length run. *)
+  let long = Machine.run ~spec ~cycles:60_000 () in
+  let a = Metrics.mean_response result.Machine.metrics in
+  let b = Metrics.mean_response long.Machine.metrics in
+  Alcotest.(check bool) "agrees with long run" true (Float.abs (a -. b) /. b < 0.03)
+
+let test_run_until_confident_validation () =
+  let spec =
+    Spec.all_to_all ~nodes:4 ~work:(D.Constant 10.) ~handler:(D.Constant 1.)
+      ~wire:(D.Constant 1.) ()
+  in
+  Alcotest.(check bool) "bad precision rejected" true
+    (try
+       ignore (Machine.run_until_confident ~rel_precision:0. ~spec ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_staggered_constant_contention_free () =
+  (* Synchronized permutation traffic: every cycle all nodes send at the
+     same instant, each to a distinct destination which is itself blocked
+     waiting for its own reply. Requests interrupt nobody and never queue,
+     so the response time is exactly the contention-free cycle — the
+     "carefully scheduled" pattern of the paper's introduction. *)
+  let nodes = 4 in
+  let spec =
+    Spec.all_to_all ~staggered:true ~nodes ~work:(D.Constant 1000.)
+      ~handler:(D.Constant 10.) ~wire:(D.Constant 5.) ()
+  in
+  let r = Machine.run ~spec ~cycles:4000 () in
+  feq 1e-9 "interleaved => no contention" 1030. (Metrics.mean_response r.Machine.metrics)
+
+(* Simulator conservation laws across random configurations. *)
+let prop_littles_law_all_to_all =
+  QCheck.Test.make ~name:"sim: X*R = P for blocking all-to-all" ~count:12
+    QCheck.(
+      quad (int_range 2 12) (float_range 1. 100.) (float_range 5. 300.)
+        (float_range 10. 2000.))
+    (fun (nodes, st, so, w) ->
+      let spec =
+        Spec.all_to_all ~nodes ~work:(D.Exponential w) ~handler:(D.Exponential so)
+          ~wire:(D.Constant st) ()
+      in
+      let r = Machine.run ~spec ~cycles:8_000 () in
+      let m = r.Machine.metrics in
+      (* With blocking threads exactly P customers circulate. *)
+      let customers = Metrics.throughput m *. Metrics.mean_response m in
+      Float.abs (customers -. Float.of_int nodes) /. Float.of_int nodes < 0.05)
+
+let prop_sim_utilization_conserved =
+  QCheck.Test.make ~name:"sim: Uq = Uy = X/P * So (Little at the handlers)" ~count:12
+    QCheck.(triple (int_range 2 10) (float_range 20. 300.) (float_range 50. 1500.))
+    (fun (nodes, so, w) ->
+      let spec =
+        Spec.all_to_all ~nodes ~work:(D.Exponential w) ~handler:(D.Exponential so)
+          ~wire:(D.Constant 10.) ()
+      in
+      let r = Machine.run ~spec ~cycles:8_000 () in
+      let m = r.Machine.metrics in
+      let expected = Metrics.throughput m /. Float.of_int nodes *. so in
+      Float.abs (Metrics.avg_request_util m -. expected) /. expected < 0.08
+      && Float.abs (Metrics.avg_reply_util m -. expected) /. expected < 0.08)
+
+let prop_sim_response_decomposes =
+  QCheck.Test.make ~name:"sim: R = Rw + wire + Rq + Ry per configuration" ~count:12
+    QCheck.(triple (int_range 2 10) (float_range 20. 300.) (float_range 0. 1500.))
+    (fun (nodes, so, w) ->
+      let spec =
+        Spec.all_to_all ~nodes ~work:(D.Exponential w) ~handler:(D.Exponential so)
+          ~wire:(D.Constant 25.) ()
+      in
+      let r = Machine.run ~spec ~cycles:8_000 () in
+      let m = r.Machine.metrics in
+      let parts =
+        Welford.mean m.Metrics.rw +. Welford.mean m.Metrics.wire_time
+        +. Welford.mean m.Metrics.rq +. Welford.mean m.Metrics.ry
+      in
+      let whole = Metrics.mean_response m in
+      Float.abs (parts -. whole) /. whole < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "contention-free exactness" `Quick test_contention_free_exact;
+    Alcotest.test_case "throughput Little's law" `Quick test_contention_free_throughput_littles_law;
+    Alcotest.test_case "utilization identities" `Quick test_utilization_identities;
+    Alcotest.test_case "queue-length Little's law" `Quick test_queue_littles_law;
+    Alcotest.test_case "protocol processor: Rw = W" `Quick test_protocol_processor_no_preemption;
+    Alcotest.test_case "message passing: Rw > W" `Quick test_message_passing_preemption_inflates_rw;
+    Alcotest.test_case "determinism in seed" `Quick test_determinism;
+    Alcotest.test_case "handler C2 is realized" `Slow test_handler_service_scv_observed;
+    Alcotest.test_case "multi-hop accounting" `Quick test_multi_hop_wire_count;
+    Alcotest.test_case "self-request supported" `Quick test_self_request_allowed;
+    Alcotest.test_case "round-robin route" `Quick test_round_robin_route_cycles;
+    Alcotest.test_case "uniform_other excludes origin" `Quick test_uniform_other_excludes_origin;
+    Alcotest.test_case "hotspot fraction" `Quick test_hotspot_fraction;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "run validation" `Quick test_run_validation;
+    Alcotest.test_case "route range checking" `Quick test_route_out_of_range_rejected;
+    Alcotest.test_case "client-server roles" `Quick test_client_server_roles;
+    Alcotest.test_case "staggered pattern is contention free" `Quick test_staggered_constant_contention_free;
+    QCheck_alcotest.to_alcotest prop_littles_law_all_to_all;
+    QCheck_alcotest.to_alcotest prop_sim_utilization_conserved;
+    QCheck_alcotest.to_alcotest prop_sim_response_decomposes;
+    Alcotest.test_case "trace collector" `Quick test_trace_collector;
+    Alcotest.test_case "trace renders" `Quick test_trace_renders;
+    Alcotest.test_case "observer warm-up flag" `Quick test_observer_sees_warmup_flag;
+    Alcotest.test_case "backlog metrics" `Quick test_backlog_metrics;
+    Alcotest.test_case "backlog grows under load" `Slow test_backlog_grows_under_load;
+    Alcotest.test_case "Bard assumption measured" `Slow test_bard_assumption_directly;
+    Alcotest.test_case "barrier keeps schedule contention-free" `Quick test_barrier_preserves_contention_free_schedule;
+    Alcotest.test_case "barrier resynchronizes jitter" `Slow test_barrier_resynchronizes_jitter;
+    Alcotest.test_case "barrier validation" `Quick test_barrier_validation;
+    Alcotest.test_case "gap serializes the NI" `Quick test_gap_serializes_ni;
+    Alcotest.test_case "gap contention-free exactness" `Quick test_gap_contention_free_exact;
+    Alcotest.test_case "gap zero unchanged" `Quick test_gap_zero_unchanged;
+    Alcotest.test_case "run_until_confident" `Slow test_run_until_confident;
+    Alcotest.test_case "run_until_confident validation" `Quick test_run_until_confident_validation;
+    Alcotest.test_case "polling defers handlers" `Quick test_polling_defers_handlers;
+    Alcotest.test_case "polling never preempts" `Quick test_polling_never_preempts;
+    Alcotest.test_case "polling + PP rejected" `Quick test_polling_pp_mutually_exclusive;
+    Alcotest.test_case "windowed pipeline exactness" `Quick test_window_pipeline_exact;
+    Alcotest.test_case "window 1 is blocking" `Quick test_window_one_has_blocking_semantics;
+    Alcotest.test_case "window validation" `Quick test_window_validation;
+    Alcotest.test_case "window increases throughput" `Slow test_window_increases_throughput;
+  ]

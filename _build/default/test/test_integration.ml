@@ -1,0 +1,244 @@
+(* End-to-end validation: the LoPC model against the event-driven
+   simulator, reproducing the paper's accuracy claims (§5.3, §6). *)
+
+module D = Lopc_dist.Distribution
+module Pattern = Lopc_workloads.Pattern
+module Machine = Lopc_activemsg.Machine
+module Metrics = Lopc_activemsg.Metrics
+module Welford = Lopc_stats.Welford
+module A = Lopc.All_to_all
+module CS = Lopc.Client_server
+module G = Lopc.General
+module Params = Lopc.Params
+
+let simulate ?(nodes = 16) ?(seed = 42) ?(cycles = 50_000) ~w ~so ~st ~c2 pattern =
+  let spec =
+    Pattern.to_spec ~nodes ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+      ~handler:(D.of_mean_scv ~mean:so ~scv:c2) ~wire:(D.Constant st) pattern
+  in
+  Machine.run ~seed ~spec ~cycles ()
+
+(* §5.3 headline: LoPC within ~6% (pessimistic) of the simulator. *)
+let test_all_to_all_accuracy () =
+  List.iter
+    (fun (w, c2) ->
+      let params = Params.create ~c2 ~p:16 ~st:40. ~so:200. () in
+      let model = (A.solve params ~w).A.r in
+      let sim = simulate ~w ~so:200. ~st:40. ~c2 Pattern.All_to_all in
+      let measured = Metrics.mean_response sim.Machine.metrics in
+      let err = (model -. measured) /. measured in
+      if Float.abs err > 0.08 then
+        Alcotest.failf "W=%g C2=%g: model %g vs sim %g (err %.1f%%)" w c2 model measured
+          (100. *. err))
+    [ (0., 0.); (200., 0.); (1000., 0.); (1000., 1.); (2048., 0.) ]
+
+(* §5.3: a naive LogP analysis under-predicts substantially at small W and
+   its absolute error persists at large W. *)
+let test_logp_underprediction () =
+  let c2 = 0. in
+  let params = Params.create ~c2 ~p:16 ~st:40. ~so:200. () in
+  let check_w w expect_below =
+    let sim = simulate ~w ~so:200. ~st:40. ~c2 Pattern.All_to_all in
+    let measured = Metrics.mean_response sim.Machine.metrics in
+    let logp = Lopc.Logp.cycle_time params ~w in
+    let err = (logp -. measured) /. measured in
+    if err > expect_below then
+      Alcotest.failf "W=%g: LogP err %.1f%% not below %.1f%%" w (100. *. err)
+        (100. *. expect_below)
+  in
+  (* At W=0 the under-prediction is large (paper: −37%). *)
+  check_w 0. (-0.25);
+  (* Even at W=1024 the error is still noticeable (paper: −13%). *)
+  check_w 1024. (-0.05)
+
+let test_logp_absolute_error_constant () =
+  (* The contention-free model's absolute error stays ~ one handler as W
+     grows (paper §5.3). *)
+  let c2 = 0. in
+  let params = Params.create ~c2 ~p:16 ~st:40. ~so:200. () in
+  let abs_err w =
+    let sim = simulate ~w ~so:200. ~st:40. ~c2 Pattern.All_to_all in
+    Metrics.mean_response sim.Machine.metrics -. Lopc.Logp.cycle_time params ~w
+  in
+  let e_small = abs_err 256. and e_large = abs_err 2048. in
+  Alcotest.(check bool) "error ~ one handler at W=256" true
+    (e_small > 100. && e_small < 320.);
+  Alcotest.(check bool) "error ~ one handler at W=2048" true
+    (e_large > 100. && e_large < 320.)
+
+let test_model_pessimistic_at_zero_work () =
+  (* Bard's approximation overestimates queueing, so at W=0 the model is
+     above the simulator (paper: +6% worst case). *)
+  let params = Params.create ~c2:0. ~p:16 ~st:40. ~so:200. () in
+  let model = (A.solve params ~w:0.).A.r in
+  let sim = simulate ~w:0. ~so:200. ~st:40. ~c2:0. Pattern.All_to_all in
+  let measured = Metrics.mean_response sim.Machine.metrics in
+  Alcotest.(check bool) "model >= sim at W=0" true (model >= measured *. 0.995)
+
+let test_breakdown_components_match () =
+  (* Fig 5-3: per-component residencies agree with the simulator. *)
+  let params = Params.create ~c2:0. ~p:16 ~st:40. ~so:200. () in
+  let model = A.solve params ~w:1000. in
+  let sim = simulate ~w:1000. ~so:200. ~st:40. ~c2:0. Pattern.All_to_all in
+  let m = sim.Machine.metrics in
+  let check name modeled measured tol =
+    let err = Float.abs (modeled -. measured) /. measured in
+    if err > tol then
+      Alcotest.failf "%s: model %g vs sim %g (err %.1f%%)" name modeled measured
+        (100. *. err)
+  in
+  check "Rw" model.A.rw (Welford.mean m.Metrics.rw) 0.08;
+  check "Rq" model.A.rq (Welford.mean m.Metrics.rq) 0.12;
+  check "Ry" model.A.ry (Welford.mean m.Metrics.ry) 0.15;
+  check "R" model.A.r (Metrics.mean_response m) 0.06
+
+let test_queue_lengths_match () =
+  let params = Params.create ~c2:1. ~p:16 ~st:40. ~so:200. () in
+  let model = A.solve params ~w:1000. in
+  let sim = simulate ~w:1000. ~so:200. ~st:40. ~c2:1. Pattern.All_to_all in
+  let m = sim.Machine.metrics in
+  let rel a b = Float.abs (a -. b) /. Float.max 1e-9 b in
+  Alcotest.(check bool) "Qq within 15%" true (rel model.A.qq (Metrics.avg_request_queue m) < 0.15);
+  Alcotest.(check bool) "Uq within 10%" true (rel model.A.uq (Metrics.avg_request_util m) < 0.10)
+
+let test_client_server_accuracy () =
+  (* Fig 6-2: model conservative within a few % across the curve. Bard's
+     approximation is known to be most pessimistic when a station
+     saturates, so the deeply overloaded Ps=1 point gets a wider band. *)
+  let so = 131. and st = 40. and w = 1000. in
+  let params = Params.create ~c2:1. ~p:16 ~st ~so () in
+  List.iter
+    (fun (servers, tolerance) ->
+      let model = (CS.throughput params ~w ~servers).CS.throughput in
+      let sim =
+        simulate ~cycles:40_000 ~w ~so ~st ~c2:1. (Pattern.Client_server { servers })
+      in
+      let measured = Metrics.throughput sim.Machine.metrics in
+      let err = (model -. measured) /. measured in
+      if Float.abs err > tolerance then
+        Alcotest.failf "Ps=%d: model %g vs sim %g (err %.1f%%)" servers model measured
+          (100. *. err))
+    [ (1, 0.15); (2, 0.08); (3, 0.06); (5, 0.06); (8, 0.06) ]
+
+let test_client_server_sim_peak_matches_eq68 () =
+  let so = 131. and st = 40. and w = 500. in
+  let params = Params.create ~c2:1. ~p:16 ~st ~so () in
+  let best_sim = ref 1 and best_x = ref 0. in
+  for servers = 1 to 15 do
+    let sim =
+      simulate ~cycles:20_000 ~w ~so ~st ~c2:1. (Pattern.Client_server { servers })
+    in
+    let x = Metrics.throughput sim.Machine.metrics in
+    if x > !best_x then begin
+      best_x := x;
+      best_sim := servers
+    end
+  done;
+  let predicted = CS.optimal_servers params ~w in
+  if abs (!best_sim - predicted) > 1 then
+    Alcotest.failf "simulated peak at Ps=%d, Eq 6.8 predicts %d" !best_sim predicted
+
+let test_protocol_processor_validation () =
+  (* Shared-memory mode: model vs simulator with protocol processors. *)
+  let params = Params.create ~c2:0. ~p:16 ~st:40. ~so:200. () in
+  let model = (A.solve ~execution:A.Protocol_processor params ~w:500.).A.r in
+  let spec =
+    Pattern.to_spec ~protocol_processor:true ~nodes:16 ~work:(D.Exponential 500.)
+      ~handler:(D.Constant 200.) ~wire:(D.Constant 40.) Pattern.All_to_all
+  in
+  let sim = Machine.run ~spec ~cycles:50_000 () in
+  let measured = Metrics.mean_response sim.Machine.metrics in
+  let err = (model -. measured) /. measured in
+  if Float.abs err > 0.08 then
+    Alcotest.failf "PP mode: model %g vs sim %g (err %.1f%%)" model measured (100. *. err)
+
+let test_hotspot_validation () =
+  let params = Params.create ~c2:1. ~p:16 ~st:40. ~so:200. () in
+  let pat = Pattern.Hotspot { hot = 0; fraction = 0.3 } in
+  let model = (G.solve (Pattern.to_general params ~w:1000. pat)).G.system_throughput in
+  let sim = simulate ~w:1000. ~so:200. ~st:40. ~c2:1. pat in
+  let measured = Metrics.throughput sim.Machine.metrics in
+  let err = (model -. measured) /. measured in
+  if Float.abs err > 0.06 then
+    Alcotest.failf "hotspot: model %g vs sim %g (err %.1f%%)" model measured (100. *. err)
+
+let test_multihop_validation () =
+  let params = Params.create ~c2:1. ~p:16 ~st:40. ~so:200. () in
+  let pat = Pattern.Multi_hop { hops = 2 } in
+  let model = (G.solve (Pattern.to_general params ~w:1000. pat)).G.system_throughput in
+  let sim = simulate ~w:1000. ~so:200. ~st:40. ~c2:1. pat in
+  let measured = Metrics.throughput sim.Machine.metrics in
+  let err = (model -. measured) /. measured in
+  if Float.abs err > 0.06 then
+    Alcotest.failf "multi-hop: model %g vs sim %g (err %.1f%%)" model measured (100. *. err)
+
+let test_seed_stability_of_validation () =
+  (* The validation conclusion must not depend on the seed: three seeds,
+     all within tolerance. *)
+  let params = Params.create ~c2:0. ~p:16 ~st:40. ~so:200. () in
+  let model = (A.solve params ~w:1000.).A.r in
+  List.iter
+    (fun seed ->
+      let sim = simulate ~seed ~w:1000. ~so:200. ~st:40. ~c2:0. Pattern.All_to_all in
+      let measured = Metrics.mean_response sim.Machine.metrics in
+      let err = Float.abs ((model -. measured) /. measured) in
+      if err > 0.08 then Alcotest.failf "seed %d: err %.1f%%" seed (100. *. err))
+    [ 1; 7; 1234 ]
+
+let test_windowed_model_accuracy () =
+  (* The §7 windowed extension against the simulator's windowed mode. *)
+  let params = Params.create ~c2:1. ~p:16 ~st:40. ~so:200. () in
+  List.iter
+    (fun window ->
+      let model = (Lopc.Windowed.solve ~window params ~w:1000.).Lopc.Windowed.node_rate in
+      let spec =
+        Lopc_activemsg.Spec.all_to_all ~window ~nodes:16 ~work:(D.Exponential 1000.)
+          ~handler:(D.Exponential 200.) ~wire:(D.Constant 40.) ()
+      in
+      let sim =
+        Metrics.throughput (Machine.run ~spec ~cycles:50_000 ()).Machine.metrics /. 16.
+      in
+      let err = (model -. sim) /. sim in
+      if Float.abs err > 0.12 then
+        Alcotest.failf "window %d: model %g vs sim %g (err %.1f%%)" window model sim
+          (100. *. err);
+      (* The extension is conservative: it never over-predicts by much. *)
+      if err > 0.03 then
+        Alcotest.failf "window %d: model optimistic by %.1f%%" window (100. *. err))
+    [ 1; 2; 4; 8 ]
+
+let test_polling_model_accuracy () =
+  let params = Params.create ~c2:1. ~p:16 ~st:40. ~so:200. () in
+  List.iter
+    (fun w ->
+      let model = (A.solve ~execution:A.Polling params ~w).A.r in
+      let spec =
+        Lopc_activemsg.Spec.all_to_all ~polling:true ~nodes:16 ~work:(D.Exponential w)
+          ~handler:(D.Exponential 200.) ~wire:(D.Constant 40.) ()
+      in
+      let sim =
+        Metrics.mean_response (Machine.run ~spec ~cycles:50_000 ()).Machine.metrics
+      in
+      let err = (model -. sim) /. sim in
+      if Float.abs err > 0.05 then
+        Alcotest.failf "polling W=%g: model %g vs sim %g (err %.1f%%)" w model sim
+          (100. *. err))
+    [ 0.; 100.; 500.; 1000.; 4000. ]
+
+let suite =
+  [
+    Alcotest.test_case "all-to-all within paper accuracy" `Slow test_all_to_all_accuracy;
+    Alcotest.test_case "LogP underpredicts (37% at W=0)" `Slow test_logp_underprediction;
+    Alcotest.test_case "LogP absolute error ~ one handler" `Slow test_logp_absolute_error_constant;
+    Alcotest.test_case "LoPC pessimistic at W=0" `Slow test_model_pessimistic_at_zero_work;
+    Alcotest.test_case "Fig 5-3 component breakdown" `Slow test_breakdown_components_match;
+    Alcotest.test_case "queue lengths and utilizations" `Slow test_queue_lengths_match;
+    Alcotest.test_case "client-server curve accuracy" `Slow test_client_server_accuracy;
+    Alcotest.test_case "simulated peak matches Eq 6.8" `Slow test_client_server_sim_peak_matches_eq68;
+    Alcotest.test_case "protocol processor mode" `Slow test_protocol_processor_validation;
+    Alcotest.test_case "hotspot pattern" `Slow test_hotspot_validation;
+    Alcotest.test_case "multi-hop pattern" `Slow test_multihop_validation;
+    Alcotest.test_case "seed stability" `Slow test_seed_stability_of_validation;
+    Alcotest.test_case "windowed extension accuracy" `Slow test_windowed_model_accuracy;
+    Alcotest.test_case "polling extension accuracy" `Slow test_polling_model_accuracy;
+  ]

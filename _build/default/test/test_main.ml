@@ -1,0 +1,18 @@
+(* Test runner: aggregates all suites into one alcotest executable. *)
+
+let () =
+  Alcotest.run "lopc"
+    [
+      ("prng", Test_prng.suite);
+      ("dist", Test_dist.suite);
+      ("stats", Test_stats.suite);
+      ("numerics", Test_numerics.suite);
+      ("mva", Test_mva.suite);
+      ("eventsim", Test_eventsim.suite);
+      ("topology", Test_topology.suite);
+      ("markov", Test_markov.suite);
+      ("activemsg", Test_activemsg.suite);
+      ("lopc", Test_lopc.suite);
+      ("workloads", Test_workloads.suite);
+      ("integration", Test_integration.suite);
+    ]

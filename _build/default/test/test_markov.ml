@@ -1,0 +1,141 @@
+(* Tests for lopc_markov: the generic CTMC solver against textbook chains
+   and the exact LoPC machine against simulator and model. *)
+
+module Ctmc = Lopc_markov.Ctmc
+module EM = Lopc_markov.Exact_machine
+module D = Lopc_dist.Distribution
+module Spec = Lopc_activemsg.Spec
+module Machine = Lopc_activemsg.Machine
+module Metrics = Lopc_activemsg.Metrics
+
+let feq tol = Alcotest.(check (float tol))
+
+(* Two-state chain: 0 -> 1 at rate a, 1 -> 0 at rate b: pi = (b, a)/(a+b). *)
+let test_ctmc_two_state () =
+  let sol =
+    Ctmc.solve ~initial:0
+      ~transitions:(function 0 -> [ (1, 2.) ] | _ -> [ (0, 6.) ])
+      ()
+  in
+  Alcotest.(check int) "two states" 2 (Ctmc.states sol);
+  feq 1e-9 "pi0" 0.75 (Ctmc.probability sol 0);
+  feq 1e-9 "pi1" 0.25 (Ctmc.probability sol 1)
+
+(* M/M/1/K queue: birth rate l, death rate m, capacity K.
+   pi_n = rho^n (1-rho)/(1-rho^{K+1}). *)
+let test_ctmc_mm1k () =
+  let l = 2. and m = 3. and k = 5 in
+  let sol =
+    Ctmc.solve ~initial:0
+      ~transitions:(fun n ->
+        (if n < k then [ (n + 1, l) ] else []) @ if n > 0 then [ (n - 1, m) ] else [])
+      ()
+  in
+  let rho = l /. m in
+  let norm = (1. -. rho) /. (1. -. (rho ** Float.of_int (k + 1))) in
+  for n = 0 to k do
+    feq 1e-9 (Printf.sprintf "pi%d" n)
+      ((rho ** Float.of_int n) *. norm)
+      (Ctmc.probability sol n)
+  done;
+  (* Mean queue via expectation. *)
+  let expected_mean =
+    List.init (k + 1) (fun n -> Float.of_int n *. (rho ** Float.of_int n) *. norm)
+    |> List.fold_left ( +. ) 0.
+  in
+  feq 1e-9 "mean customers" expected_mean
+    (Ctmc.expectation sol ~f:Float.of_int)
+
+let test_ctmc_budget () =
+  (* An infinite chain must hit the state budget. *)
+  Alcotest.(check bool) "budget enforced" true
+    (try
+       ignore
+         (Ctmc.solve ~max_states:100 ~initial:0
+            ~transitions:(fun n -> [ (n + 1, 1.) ])
+            ());
+       false
+     with Ctmc.State_space_too_large _ -> true)
+
+let test_ctmc_invalid_rate () =
+  Alcotest.(check bool) "negative rate rejected" true
+    (try
+       ignore (Ctmc.solve ~initial:0 ~transitions:(fun _ -> [ (1, -1.) ]) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_exact_machine_small_state_spaces () =
+  let r2 = EM.all_to_all ~p:2 ~w:1000. ~so:200. ~st:40. () in
+  Alcotest.(check bool) "P=2 compact" true (r2.EM.states < 100);
+  let r3 = EM.all_to_all ~p:3 ~w:1000. ~so:200. ~st:40. () in
+  Alcotest.(check bool) "P=3 moderate" true (r3.EM.states < 10_000);
+  (* More nodes, slightly more contention. *)
+  Alcotest.(check bool) "R grows with P" true (r3.EM.cycle_time > r2.EM.cycle_time)
+
+let test_exact_machine_validates_simulator () =
+  (* The exact chain and the event-driven simulator describe the same
+     machine: agreement well inside Monte-Carlo noise. *)
+  let exact = EM.all_to_all ~p:3 ~w:1000. ~so:200. ~st:40. () in
+  let spec =
+    Spec.all_to_all ~nodes:3 ~work:(D.Exponential 1000.) ~handler:(D.Exponential 200.)
+      ~wire:(D.Exponential 40.) ()
+  in
+  let sim =
+    Metrics.mean_response (Machine.run ~spec ~cycles:150_000 ()).Machine.metrics
+  in
+  let err = Float.abs ((sim -. exact.EM.cycle_time) /. exact.EM.cycle_time) in
+  if err > 0.01 then
+    Alcotest.failf "simulator %.2f vs exact %.2f (%.2f%%)" sim exact.EM.cycle_time
+      (100. *. err)
+
+let test_exact_machine_measures_model_error () =
+  (* Against the exact answer the LoPC model must be pessimistic (Bard)
+     and within the paper's error envelope. *)
+  List.iter
+    (fun w ->
+      let exact = EM.all_to_all ~p:4 ~w ~so:200. ~st:40. () in
+      let params = Lopc.Params.create ~c2:1. ~p:4 ~st:40. ~so:200. () in
+      let model = (Lopc.All_to_all.solve params ~w).Lopc.All_to_all.r in
+      let err = (model -. exact.EM.cycle_time) /. exact.EM.cycle_time in
+      if err < -0.005 || err > 0.09 then
+        Alcotest.failf "W=%g: model %.2f vs exact %.2f (%+.2f%%)" w model
+          exact.EM.cycle_time (100. *. err))
+    [ 1.; 200.; 1000. ]
+
+let test_exact_machine_littles_law () =
+  (* Exact X, Qq, Qy and per-node utilizations must satisfy the identities
+     the model is built on. *)
+  let r = EM.all_to_all ~p:3 ~w:500. ~so:100. ~st:20. () in
+  (* Uq + Uy <= 1 (one handler at a time). *)
+  Alcotest.(check bool) "processor not oversubscribed" true (r.EM.uq +. r.EM.uy <= 1.);
+  (* Utilization = throughput x service (per node, one request and one
+     reply per cycle). *)
+  feq 1e-6 "Uq = X So" (r.EM.throughput *. 100.) r.EM.uq;
+  feq 1e-6 "Uy = X So" (r.EM.throughput *. 100.) r.EM.uy
+
+let test_exact_machine_validation () =
+  List.iter
+    (fun thunk ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (thunk ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> EM.all_to_all ~p:1 ~w:1. ~so:1. ~st:1. ());
+      (fun () -> EM.all_to_all ~p:2 ~w:0. ~so:1. ~st:1. ());
+      (fun () -> EM.all_to_all ~p:2 ~w:1. ~so:(-1.) ~st:1. ());
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "ctmc: two-state chain" `Quick test_ctmc_two_state;
+    Alcotest.test_case "ctmc: M/M/1/K closed form" `Quick test_ctmc_mm1k;
+    Alcotest.test_case "ctmc: state budget" `Quick test_ctmc_budget;
+    Alcotest.test_case "ctmc: invalid rate" `Quick test_ctmc_invalid_rate;
+    Alcotest.test_case "exact machine: state spaces" `Quick test_exact_machine_small_state_spaces;
+    Alcotest.test_case "exact machine validates simulator" `Slow test_exact_machine_validates_simulator;
+    Alcotest.test_case "exact machine measures model error" `Slow test_exact_machine_measures_model_error;
+    Alcotest.test_case "exact machine: utilization identities" `Quick test_exact_machine_littles_law;
+    Alcotest.test_case "exact machine: validation" `Quick test_exact_machine_validation;
+  ]
