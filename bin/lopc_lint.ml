@@ -1,0 +1,54 @@
+(* lopc-lint: repo-specific static analysis for model-safety and
+   reproducibility invariants. Exit codes: 0 clean, 1 findings, 2 usage. *)
+
+module Driver = Lopc_analysis.Driver
+
+let usage =
+  "lopc_lint [--format=human|json] [--list-rules] [PATH ...]\n\
+   Lint .ml/.mli sources under the given files or directories\n\
+   (default: lib bin bench examples)."
+
+let () =
+  let format = ref Driver.Human in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let set_format = function
+    | "human" -> format := Driver.Human
+    | "json" -> format := Driver.Json
+    | other ->
+      Format.eprintf "lopc_lint: unknown format %S (expected human or json)@." other;
+      exit 2
+  in
+  let spec =
+    [
+      ("--format", Arg.String set_format, "FMT Output format: human (default) or json");
+      ("--list-rules", Arg.Set list_rules, " Print the rule catalogue and exit");
+    ]
+  in
+  (try Arg.parse_argv Sys.argv spec (fun p -> paths := p :: !paths) usage with
+  | Arg.Bad msg ->
+    prerr_string msg;
+    exit 2
+  | Arg.Help msg ->
+    print_string msg;
+    exit 0);
+  if !list_rules then begin
+    Driver.list_rules Format.std_formatter ();
+    exit 0
+  end;
+  let roots =
+    match List.rev !paths with
+    | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples" ]
+    | roots ->
+      List.iter
+        (fun r ->
+          if not (Sys.file_exists r) then begin
+            Format.eprintf "lopc_lint: no such file or directory: %s@." r;
+            exit 2
+          end)
+        roots;
+      roots
+  in
+  let findings = Driver.lint_paths roots in
+  Driver.report Format.std_formatter ~format:!format findings;
+  exit (if findings = [] then 0 else 1)

@@ -179,7 +179,7 @@ and send m ~src ~cycle ~kind ~remaining ~dest =
   (* Injection waits for the sender's NI, occupies it for [gap], then the
      interconnect follows. With gap = 0 this reduces to the plain wire. *)
   let injected =
-    if gap = 0. then now
+    if Float.equal gap 0. then now
     else begin
       let start = Float.max now src.send_ni_free_at in
       src.send_ni_free_at <- start +. gap;
@@ -222,7 +222,7 @@ and traverse m ~topo ~msg ~dest ~injected_at ~depart path =
    queue costs another [gap] of (possibly queued) NI time. *)
 and wire_arrival m node msg =
   let gap = m.spec.Spec.gap in
-  if gap = 0. then arrival m node msg
+  if Float.equal gap 0. then arrival m node msg
   else begin
     let now = Engine.now m.engine in
     let start = Float.max now node.recv_ni_free_at in
@@ -475,7 +475,8 @@ let run_until_confident ?(seed = 42) ?(warmup_cycles = 2_000)
     if Lopc_stats.Welford.count batch_means >= 3 then begin
       let mean = Lopc_stats.Welford.mean batch_means in
       let half = Lopc_stats.Welford.confidence_interval batch_means in
-      if mean <> 0. && Float.abs (half /. mean) <= rel_precision then converged := true
+      if (not (Float.equal mean 0.)) && Float.abs (half /. mean) <= rel_precision then
+        converged := true
     end
   done;
   let mean = Lopc_stats.Welford.mean batch_means in
@@ -483,7 +484,8 @@ let run_until_confident ?(seed = 42) ?(warmup_cycles = 2_000)
   ( result_of m,
     {
       relative_half_width =
-        (if Float.is_nan half || mean = 0. then Float.nan else Float.abs (half /. mean));
+        (if Float.is_nan half || Float.equal mean 0. then Float.nan
+         else Float.abs (half /. mean));
       batches = Lopc_stats.Welford.count batch_means;
       converged = !converged;
     } )

@@ -1,0 +1,11 @@
+(** The Parsetree-level rules: each walks a parsed compilation unit with
+    {!Ast_iterator} and reports findings with precise locations. *)
+
+val float_equality : Rule.t
+val unguarded_division : Rule.t
+val global_rng : Rule.t
+val physical_equality : Rule.t
+val banned_constructs : Rule.t
+
+(** All AST rules, in catalogue order. *)
+val rules : Rule.t list

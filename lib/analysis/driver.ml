@@ -1,0 +1,112 @@
+let default_rules = Ast_rules.rules @ Project_rules.rules
+
+let parse_error_rule =
+  Rule.v ~id:"parse-error" ~severity:Finding.Error ~summary:"file does not parse"
+    ~hint:"fix the syntax error; unparseable files cannot be analysed"
+    ~check:(fun ~path:_ _ -> [])
+
+let whole_file_loc path =
+  let pos = { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 } in
+  { Location.loc_start = pos; loc_end = pos; loc_ghost = false }
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+  | Parse_failed of Location.t * string
+
+let parse ~path contents =
+  let kind = if Filename.check_suffix path ".mli" then `Intf else `Impl in
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf path;
+  match kind with
+  | `Impl -> (
+    try Structure (Parse.implementation lexbuf) with
+    | Syntaxerr.Error err ->
+      Parse_failed (Syntaxerr.location_of_error err, "syntax error")
+    | Lexer.Error (_, loc) -> Parse_failed (loc, "lexer error")
+    | exn -> Parse_failed (whole_file_loc path, Printexc.to_string exn))
+  | `Intf -> (
+    try Signature (Parse.interface lexbuf) with
+    | Syntaxerr.Error err ->
+      Parse_failed (Syntaxerr.location_of_error err, "syntax error")
+    | exn -> Parse_failed (whole_file_loc path, Printexc.to_string exn))
+
+let lint_source ?(rules = default_rules) ~path contents =
+  match parse ~path contents with
+  | Parse_failed (loc, msg) -> [ Rule.finding parse_error_rule ~loc msg ]
+  | Signature _ -> []
+  | Structure structure ->
+    let regions = Suppress.collect structure in
+    rules
+    |> List.concat_map (fun (r : Rule.t) -> r.check ~path structure)
+    |> List.filter (fun f -> not (Suppress.suppressed regions f))
+    |> List.sort Finding.compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?rules path =
+  match read_file path with
+  | contents -> lint_source ?rules ~path contents
+  | exception Sys_error msg ->
+    [ Rule.finding parse_error_rule ~loc:(whole_file_loc path) msg ]
+
+let skipped_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+(* Depth-first listing of every .ml/.mli under [roots]; a root that is itself
+   a file is taken as-is. Results are sorted for stable reports. *)
+let source_files roots =
+  let acc = ref [] in
+  let rec visit path =
+    if Sys.is_directory path then begin
+      if not (List.mem (Filename.basename path) skipped_dirs) then
+        Sys.readdir path |> Array.to_list |> List.sort String.compare
+        |> List.iter (fun entry -> visit (Filename.concat path entry))
+    end
+    else if is_source path then acc := path :: !acc
+  in
+  List.iter visit roots;
+  List.rev !acc
+
+let lint_paths ?rules roots =
+  source_files roots |> List.concat_map (lint_file ?rules) |> List.sort Finding.compare
+
+type format = Human | Json
+
+let report ppf ~format findings =
+  match format with
+  | Human ->
+    List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp_human f) findings;
+    let errors, warnings =
+      List.partition (fun (f : Finding.t) -> f.severity = Finding.Error) findings
+    in
+    if findings <> [] then
+      Format.fprintf ppf "%d finding%s (%d error%s, %d warning%s)@."
+        (List.length findings)
+        (if List.length findings = 1 then "" else "s")
+        (List.length errors)
+        (if List.length errors = 1 then "" else "s")
+        (List.length warnings)
+        (if List.length warnings = 1 then "" else "s")
+  | Json ->
+    Format.fprintf ppf "{@[<v 1>@,\"count\": %d,@,\"findings\": [" (List.length findings);
+    List.iteri
+      (fun i f ->
+        if i > 0 then Format.fprintf ppf ",";
+        Format.fprintf ppf "@,  %a" Finding.pp_json f)
+      findings;
+    Format.fprintf ppf "@,]@]@,}@."
+
+let list_rules ppf ?(rules = default_rules) () =
+  List.iter
+    (fun (r : Rule.t) ->
+      Format.fprintf ppf "%-20s %-7s %s@." r.id
+        (Finding.severity_to_string r.severity)
+        r.summary)
+    rules

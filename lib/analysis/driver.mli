@@ -1,0 +1,33 @@
+(** Linter entry points: parse sources with compiler-libs, run the rule
+    registry, filter suppressions, and format reports. *)
+
+(** The seeded rule registry: {!Ast_rules.rules} then {!Project_rules.rules}.
+    To add a rule, build a {!Rule.t} and extend this list (or pass a custom
+    [?rules] to the functions below). *)
+val default_rules : Rule.t list
+
+(** Lint one compilation unit given as a string. [path] determines both the
+    reported file name and path-sensitive rules (lib/ vs executable code,
+    lib/prng exemption, sibling-.mli lookup). [.mli] paths are only checked
+    for parse errors. Findings are sorted and already suppression-filtered. *)
+val lint_source : ?rules:Rule.t list -> path:string -> string -> Finding.t list
+
+(** Lint one file from disk; unreadable or unparseable files yield a single
+    [parse-error] finding. *)
+val lint_file : ?rules:Rule.t list -> string -> Finding.t list
+
+(** All .ml/.mli files under the given roots (files or directories),
+    skipping _build and VCS directories, sorted. *)
+val source_files : string list -> string list
+
+(** Lint every source under the given roots. *)
+val lint_paths : ?rules:Rule.t list -> string list -> Finding.t list
+
+type format = Human | Json
+
+(** Print findings in the requested format. Human format appends a summary
+    line when there are findings; JSON emits [{"count": n, "findings": [...]}]. *)
+val report : Format.formatter -> format:format -> Finding.t list -> unit
+
+(** Print the rule catalogue (id, severity, summary), one rule per line. *)
+val list_rules : Format.formatter -> ?rules:Rule.t list -> unit -> unit

@@ -1,0 +1,67 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : Location.t;
+  message : string;
+  hint : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let v ~rule ~severity ~loc ~message ~hint = { rule; severity; loc; message; hint }
+
+let file t = t.loc.Location.loc_start.Lexing.pos_fname
+
+let line t = t.loc.Location.loc_start.Lexing.pos_lnum
+
+let col t =
+  let p = t.loc.Location.loc_start in
+  p.Lexing.pos_cnum - p.Lexing.pos_bol
+
+let end_line t = t.loc.Location.loc_end.Lexing.pos_lnum
+
+let end_col t =
+  let p = t.loc.Location.loc_end in
+  p.Lexing.pos_cnum - p.Lexing.pos_bol
+
+(* Order findings by file, then source position, then rule id so output is
+   stable across runs and directory traversal order. *)
+let compare a b =
+  let c = String.compare (file a) (file b) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (line a) (line b) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (col a) (col b) in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp_human ppf t =
+  Format.fprintf ppf "%s:%d:%d: %s [%s] %s@\n  hint: %s" (file t) (line t) (col t)
+    (severity_to_string t.severity)
+    t.rule t.message t.hint
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_json ppf t =
+  Format.fprintf ppf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d,"message":"%s","hint":"%s"}|}
+    (json_escape t.rule)
+    (severity_to_string t.severity)
+    (json_escape (file t))
+    (line t) (col t) (end_line t) (end_col t) (json_escape t.message) (json_escape t.hint)

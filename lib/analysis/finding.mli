@@ -1,0 +1,31 @@
+(** A single lint diagnostic: rule id, severity, precise source span, message
+    and a short fix hint. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : Location.t;
+  message : string;
+  hint : string;
+}
+
+val v :
+  rule:string -> severity:severity -> loc:Location.t -> message:string -> hint:string -> t
+
+val severity_to_string : severity -> string
+val file : t -> string
+val line : t -> int
+val col : t -> int
+val end_line : t -> int
+val end_col : t -> int
+
+(** Stable ordering: file, then position, then rule id. *)
+val compare : t -> t -> int
+
+(** [file:line:col: severity [rule] message] plus an indented hint line. *)
+val pp_human : Format.formatter -> t -> unit
+
+(** One finding as a single-line JSON object. *)
+val pp_json : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+(** Project-shape rules (file layout rather than expression syntax). *)
+
+val missing_mli : Rule.t
+
+(** All project rules, in catalogue order. *)
+val rules : Rule.t list

@@ -1,0 +1,86 @@
+type region = {
+  rules : string list;  (* rule ids named by the attribute payload *)
+  start_cnum : int;
+  end_cnum : int;
+  whole_file : bool;
+}
+
+let attribute_name = "lint.allow"
+
+(* Payload of [@lint.allow "rule-a rule-b"] or [@lint.allow "rule-a, rule-b"]:
+   a single string constant naming one or more rule ids. *)
+let rules_of_payload (payload : Parsetree.payload) =
+  match payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter_map (fun id ->
+           let id = String.trim id in
+           if id = "" then None else Some id)
+  | _ -> []
+
+let rules_of_attributes (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = attribute_name then rules_of_payload a.attr_payload else [])
+    attrs
+
+let region_of ~whole_file (loc : Location.t) rules =
+  {
+    rules;
+    start_cnum = loc.loc_start.pos_cnum;
+    end_cnum = loc.loc_end.pos_cnum;
+    whole_file;
+  }
+
+(* Collect every span an allow-attribute governs: the attributed expression,
+   the whole [let] binding carrying [@@lint.allow], the surrounding module
+   item, or the whole file for floating [@@@lint.allow]. *)
+let collect (structure : Parsetree.structure) =
+  let regions = ref [] in
+  let add ~whole_file loc attrs =
+    match rules_of_attributes attrs with
+    | [] -> ()
+    | rules -> regions := region_of ~whole_file loc rules :: !regions
+  in
+  let expr sub (e : Parsetree.expression) =
+    add ~whole_file:false e.pexp_loc e.pexp_attributes;
+    Ast_iterator.default_iterator.expr sub e
+  in
+  let value_binding sub (vb : Parsetree.value_binding) =
+    add ~whole_file:false vb.pvb_loc vb.pvb_attributes;
+    Ast_iterator.default_iterator.value_binding sub vb
+  in
+  let structure_item sub (item : Parsetree.structure_item) =
+    (match item.pstr_desc with
+    | Pstr_attribute a ->
+      if a.attr_name.txt = attribute_name then
+        (match rules_of_payload a.attr_payload with
+        | [] -> ()
+        | rules -> regions := region_of ~whole_file:true item.pstr_loc rules :: !regions)
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item sub item
+  in
+  let it = { Ast_iterator.default_iterator with expr; value_binding; structure_item } in
+  it.structure it structure;
+  !regions
+
+(* Overlap, not containment: the parser can attach a trailing attribute to
+   the last operand of an infix expression rather than the whole expression
+   ([x = 1.0 [@lint.allow ...]] lands on [1.0]), so a finding is suppressed
+   when its span intersects the attributed span at all. *)
+let suppressed regions (f : Finding.t) =
+  let start_cnum = f.Finding.loc.loc_start.pos_cnum in
+  let end_cnum = f.Finding.loc.loc_end.pos_cnum in
+  List.exists
+    (fun r ->
+      List.mem f.Finding.rule r.rules
+      && (r.whole_file || (start_cnum <= r.end_cnum && end_cnum >= r.start_cnum)))
+    regions

@@ -1,0 +1,25 @@
+(** Explicit, auditable suppression of lint findings.
+
+    A finding is suppressed when it falls inside the span of a
+    [[@lint.allow "rule-id"]] attribute naming its rule: on an expression,
+    on a [let] binding ([@@lint.allow]), or floating at the top of a file
+    ([@@@lint.allow], which covers the whole compilation unit). The payload
+    may name several rules separated by spaces or commas. *)
+
+type region = {
+  rules : string list;
+  start_cnum : int;
+  end_cnum : int;
+  whole_file : bool;
+}
+
+val attribute_name : string
+
+(** All suppression regions declared in a structure. *)
+val collect : Parsetree.structure -> region list
+
+(** [suppressed regions f] is true when some region names [f]'s rule and
+    overlaps [f]'s span (overlap rather than containment, because the parser
+    may attach a trailing attribute to the last operand of an infix
+    expression instead of the whole expression). *)
+val suppressed : region list -> Finding.t -> bool

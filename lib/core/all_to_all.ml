@@ -48,6 +48,9 @@ let queues ?(extra = 0.) (params : Params.t) s =
   let qq = (s *. gq) +. (extra /. denom) in
   let qy = s *. (1. +. qq +. (beta *. s)) in
   (qq, qy)
+[@@lint.allow "unguarded-division"]
+(* Safe: every solver keeps r above the golden-ratio multiple of So (see the
+   header comment), so 1 - s - s² stays strictly positive. *)
 
 (* In polling mode a handler arriving while the thread computes waits for
    the residual work quantum: probability Uw = W/R, mean residual
@@ -68,7 +71,10 @@ let analyze ~execution ~work_scv (params : Params.t) ~w r =
   let ry = qy *. r in
   let rw =
     match execution with
-    | Interrupt -> (w +. (params.so *. qq)) /. (1. -. s)
+    | Interrupt ->
+      (* Safe for the same reason as [queues]: s = So/r < 1 whenever r is in
+         the solvers' bracket, which starts at the contention-free bound. *)
+      ((w +. (params.so *. qq)) /. (1. -. s) [@lint.allow "unguarded-division"])
     | Polling | Protocol_processor -> w
   in
   (rw, rq, ry, qq, qy, s)

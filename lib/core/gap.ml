@@ -23,7 +23,7 @@ let lower_bound ~gap (params : Params.t) ~w =
 (* Bard residence of one passage through an NI with constant service g and
    arrival rate 2/R. Valid while the NI is stable (2g < R). *)
 let ni_residence_at ~gap r =
-  if gap = 0. then 0.
+  if Float.equal gap 0. then 0.
   else begin
     let lambda = 2. /. r in
     let u = lambda *. gap in
@@ -36,7 +36,7 @@ let fixed_point_map ~gap (params : Params.t) ~w r =
 let solve ?(gap = 0.) (params : Params.t) ~w =
   check params ~gap ~w;
   let base = All_to_all.solve params ~w in
-  if gap = 0. then
+  if Float.equal gap 0. then
     {
       gap;
       r = base.All_to_all.r;

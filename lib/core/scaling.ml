@@ -2,7 +2,7 @@ module Roots = Lopc_numerics.Roots
 
 let efficiency (params : Params.t) ~w =
   if w < 0. || not (Float.is_finite w) then invalid_arg "Scaling: invalid work value";
-  if w = 0. then 0. else w /. (All_to_all.solve params ~w).All_to_all.r
+  if Float.equal w 0. then 0. else w /. (All_to_all.solve params ~w).All_to_all.r
 
 let min_work_for_efficiency (params : Params.t) ~target =
   if not (target > 0. && target < 1.) then

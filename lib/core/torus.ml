@@ -22,7 +22,7 @@ let check (params : Params.t) ~(topology : Topology.t) ~w =
    [link_time] and arrival rate [lambda]; the hop propagation follows. *)
 let crossing ~(topology : Topology.t) ~lambda =
   let lt = topology.Topology.link_time in
-  if lt = 0. then topology.Topology.per_hop
+  if Float.equal lt 0. then topology.Topology.per_hop
   else begin
     let u = lambda *. lt in
     if u >= 0.999 then infinity

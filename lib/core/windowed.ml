@@ -17,7 +17,9 @@ let saturation_rate (params : Params.t) ~w =
   if w < 0. || not (Float.is_finite w) then invalid_arg "Windowed: invalid work value";
   1. /. (w +. (2. *. params.so))
 
-(* Queue lengths at handler utilization u — the §5 closed forms. *)
+(* Queue lengths at handler utilization u — the §5 closed forms. The
+   1 - u - u² denominator is safe because the only caller, [residencies],
+   rejects u at or above the golden-ratio bound before calling in. *)
 let queues (params : Params.t) u =
   let beta = (params.c2 -. 1.) /. 2. in
   let denom = 1. -. u -. (u *. u) in
@@ -25,6 +27,7 @@ let queues (params : Params.t) u =
   let qq = u *. gq in
   let qy = u *. (1. +. qq +. (beta *. u)) in
   (qq, qy)
+[@@lint.allow "unguarded-division"]
 
 (* Golden-ratio bound: the closed forms need 1 − u − u² > 0. *)
 let u_limit = (sqrt 5. -. 1.) /. 2.

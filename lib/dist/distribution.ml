@@ -37,6 +37,14 @@ let check t =
 let empirical_mean samples =
   Array.fold_left ( +. ) 0. samples /. Float.of_int (Array.length samples)
 
+(* Exact-zero test for degenerate-case dispatch: sampling and moment guards
+   must only special-case true zeros; tiny positive means are legitimate
+   scales and take the general path. *)
+let exactly_zero x = Float.classify_float x = FP_zero
+
+(* Below this magnitude mu*.mu underflows, so scv's division is meaningless. *)
+let tiny_mean = Float.sqrt Float.min_float
+
 let mean = function
   | Constant c -> c
   | Exponential m -> m
@@ -68,17 +76,17 @@ let variance = function
 
 let scv t =
   let mu = mean t in
-  if mu = 0. then 0. else variance t /. (mu *. mu)
+  if Float.abs mu < tiny_mean then 0. else variance t /. (mu *. mu)
 
 let residual_mean t = (1. +. scv t) /. 2. *. mean t
 
 let sample t rng =
   match check t with
   | Constant c -> c
-  | Exponential m -> if m = 0. then 0. else Rng.exponential rng m
+  | Exponential m -> if exactly_zero m then 0. else Rng.exponential rng m
   | Uniform (lo, hi) -> if lo = hi then lo else Rng.float_range rng lo hi
   | Erlang (k, m) ->
-    if m = 0. then 0.
+    if exactly_zero m then 0.
     else begin
       let phase_mean = m /. Float.of_int k in
       let acc = ref 0. in
@@ -89,21 +97,21 @@ let sample t rng =
     end
   | Hyperexponential (p, m1, m2) ->
     let m = if Rng.bernoulli rng p then m1 else m2 in
-    if m = 0. then 0. else Rng.exponential rng m
+    if exactly_zero m then 0. else Rng.exponential rng m
   | Shifted_exponential (offset, m) ->
     let tail = m -. offset in
-    offset +. (if tail = 0. then 0. else Rng.exponential rng tail)
+    offset +. (if exactly_zero tail then 0. else Rng.exponential rng tail)
   | Empirical samples -> samples.(Rng.int_below rng (Array.length samples))
 
 let of_mean_scv ~mean:m ~scv:c2 =
   if m < 0. then invalid_arg "Distribution.of_mean_scv: negative mean";
   if c2 < 0. then invalid_arg "Distribution.of_mean_scv: negative scv";
-  if m = 0. || c2 = 0. then Constant m
+  if exactly_zero m || exactly_zero c2 then Constant m
   else if c2 < 1. then
     (* Shifted exponential: C² = (1 − offset/mean)², so
        offset = mean·(1 − sqrt C²). *)
     Shifted_exponential (m *. (1. -. sqrt c2), m)
-  else if c2 = 1. then Exponential m
+  else if exactly_zero (c2 -. 1.) then Exponential m
   else begin
     (* Balanced-means two-phase hyperexponential (Allen 1990):
        p = (1 + sqrt((C²−1)/(C²+1))) / 2, branch means chosen so each

@@ -46,7 +46,7 @@ let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initia
           (fun (s', rate) ->
             if rate < 0. || not (Float.is_finite rate) then
               invalid_arg "Ctmc.solve: non-positive or non-finite rate";
-            if rate = 0. || s' = s then None
+            if Float.equal rate 0. || s' = s then None
             else begin
               let before = !count in
               let j = id_of s' in

@@ -40,7 +40,7 @@ let consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queu
             acc +. ((s.scv -. 1.) /. 2. *. d *. d))
         0. stations
   in
-  if b = 0. then n /. a
+  if Float.equal b 0. then n /. a
   else begin
     let disc = (a *. a) +. (4. *. n *. b) in
     if disc < 0. then n /. a

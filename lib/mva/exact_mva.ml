@@ -54,7 +54,7 @@ let solve ?(think_time = 0.) ~stations ~population () =
   let x = !final_x in
   {
     Solution.throughput = x;
-    cycle_time = (if x = 0. then Float.nan else Float.of_int population /. x);
+    cycle_time = (if Float.equal x 0. then Float.nan else Float.of_int population /. x);
     residence = final_res;
     queue_length = final_q;
     utilization = Array.map (fun (s : Station.t) -> x *. s.demand) stations;

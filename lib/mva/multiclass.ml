@@ -72,7 +72,7 @@ let solve ?(approximation = Amva.Bard) ?(use_scv = true) ?(tol = 1e-12)
             match net.station_kinds.(k) with
             | Station.Delay -> d
             | Station.Queueing ->
-              if d = 0. then 0.
+              if Float.equal d 0. then 0.
               else begin
                 let total_queue = ref 0. in
                 for j = 0 to nclass - 1 do
@@ -145,7 +145,8 @@ let solve ?(approximation = Amva.Bard) ?(use_scv = true) ?(tol = 1e-12)
     cycle_time =
       Array.mapi
         (fun c x ->
-          if x = 0. then Float.nan else Float.of_int net.populations.(c) /. x)
+          if Float.equal x 0. then Float.nan
+          else Float.of_int net.populations.(c) /. x)
         throughput;
     residence;
     queue_length;

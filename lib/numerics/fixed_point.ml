@@ -66,7 +66,9 @@ let solve_scalar_aitken ?(tol = 1e-12) ?(max_iter = 200) ~f x0 =
        if not (Float.is_finite x1 && Float.is_finite x2) then
          raise (Diverged "Aitken iteration left the finite domain");
        let denom = x2 -. (2. *. x1) +. !x in
-       let next = if denom = 0. then x2 else !x -. (((x1 -. !x) ** 2.) /. denom) in
+       let next =
+         if Float.equal denom 0. then x2 else !x -. (((x1 -. !x) ** 2.) /. denom)
+       in
        if Float.abs (next -. !x) <= tol *. Float.max 1. (Float.abs next) then begin
          answer := Some next;
          raise Exit

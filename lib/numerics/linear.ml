@@ -22,7 +22,7 @@ let solve a b =
     end;
     for row = col + 1 to n - 1 do
       let factor = m.(row).(col) /. m.(col).(col) in
-      if factor <> 0. then
+      if not (Float.equal factor 0.) then
         for k = col to n do
           m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
         done

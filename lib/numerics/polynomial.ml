@@ -1,3 +1,9 @@
+(* Degree bookkeeping and degenerate-case dispatch compare coefficients and
+   discriminants with exact zero on purpose: a coefficient only vanishes
+   structurally (never by rounding we want to hide), and treating an almost
+   zero leading coefficient as zero would silently change the degree. *)
+[@@@lint.allow "float-equality"]
+
 type t = float array
 (* Coefficients lowest order first; invariant: non-empty, finite, trailing
    zeros trimmed (except the zero polynomial [|0.|]). *)

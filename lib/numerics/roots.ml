@@ -1,3 +1,8 @@
+(* Root finders legitimately compare residuals with exact zero: an IEEE-exact
+   f(x) = 0. is a root by definition and ends the search early; near-misses
+   are handled by the tolerance tests alongside. *)
+[@@@lint.allow "float-equality"]
+
 exception No_bracket
 exception Not_converged of string
 

@@ -28,6 +28,11 @@ let mean t = Welford.mean t.batch_stats
 
 let half_width t = Welford.confidence_interval t.batch_stats
 
+(* Width relative to a mean this small is numerically meaningless (and the
+   division by m below would overflow); exact zeros hit the same test. *)
+let tiny_mean = Float.sqrt Float.min_float
+
 let relative_half_width t =
   let m = mean t in
-  if Float.is_nan m || m = 0. then Float.nan else Float.abs (half_width t /. m)
+  if Float.is_nan m || Float.abs m < tiny_mean then Float.nan
+  else Float.abs (half_width t /. m)

@@ -1,5 +1,8 @@
 let relative ~predicted ~measured =
-  if measured = 0. then invalid_arg "Error.relative: measured value is zero";
+  (* Classified test: only a true zero is rejected; tiny measured values are
+     legitimate baselines and divide through normally. *)
+  if Float.classify_float measured = FP_zero then
+    invalid_arg "Error.relative: measured value is zero";
   (predicted -. measured) /. measured
 
 let percent ~predicted ~measured = 100. *. relative ~predicted ~measured

@@ -35,8 +35,12 @@ let population_variance t = if t.n = 0 then 0. else t.m2 /. Float.of_int t.n
 
 let stddev t = sqrt (variance t)
 
+(* Below this magnitude mean*.mean underflows and scv's division is
+   meaningless; exact zeros are also caught by the same test. *)
+let tiny_mean = Float.sqrt Float.min_float
+
 let scv t =
-  if t.n = 0 || t.mean = 0. then 0.
+  if t.n = 0 || Float.abs t.mean < tiny_mean then 0.
   else population_variance t /. (t.mean *. t.mean)
 
 let min t = t.min

@@ -1,0 +1,213 @@
+(* Tests for lopc_analysis: each seeded rule fires on a violating fixture
+   with the right rule id and line number, stays silent on a clean fixture,
+   and [@lint.allow] suppressions are honoured. *)
+
+module Finding = Lopc_analysis.Finding
+module Rule = Lopc_analysis.Rule
+module Driver = Lopc_analysis.Driver
+module Ast_rules = Lopc_analysis.Ast_rules
+module Project_rules = Lopc_analysis.Project_rules
+
+(* (rule id, line) pairs, in report order, from linting [src] as [path] with
+   only [rule] active (so fixtures stay focused on the rule under test). *)
+let lint_one rule ~path src =
+  Driver.lint_source ~rules:[ rule ] ~path src
+  |> List.map (fun (f : Finding.t) -> (f.rule, Finding.line f))
+
+let lint_all ~path src =
+  Driver.lint_source ~path src
+  |> List.map (fun (f : Finding.t) -> (f.rule, Finding.line f))
+
+let hits = Alcotest.(check (list (pair string int)))
+
+(* --- float-equality ----------------------------------------------------- *)
+
+let test_float_equality_fires () =
+  let src =
+    "let f x = x = 1.0\n" ^ "let g y = y <> sqrt 2.\n"
+    ^ "let h a b = compare (Float.abs a) b"
+  in
+  hits "three float comparisons"
+    [ ("float-equality", 1); ("float-equality", 2); ("float-equality", 3) ]
+    (lint_one Ast_rules.float_equality ~path:"bin/fixture.ml" src)
+
+let test_float_equality_silent () =
+  let src =
+    "let f x y = Float.equal x y\n" ^ "let g x = x = 1\n" ^ "let h s = s = \"a\"\n"
+    ^ "let i x = Float.abs (x -. 1.) < 1e-9\n"
+    ^ "let j x = Float.classify_float x = FP_zero"
+  in
+  hits "int/string equality, tolerance and classified tests are clean" []
+    (lint_one Ast_rules.float_equality ~path:"bin/fixture.ml" src)
+
+(* --- unguarded-division ------------------------------------------------- *)
+
+let test_unguarded_division_fires () =
+  let src =
+    "let f w u = w /. (1. -. u)\n" ^ "let g w u =\n"
+    ^ "  let denom = 1. -. u -. (u *. u) in\n" ^ "  w /. denom"
+  in
+  hits "direct and let-bound saturation denominators"
+    [ ("unguarded-division", 1); ("unguarded-division", 4) ]
+    (lint_one Ast_rules.unguarded_division ~path:"bin/fixture.ml" src)
+
+let test_unguarded_division_silent () =
+  let src =
+    "let f w u = if u >= 1. then infinity else w /. (1. -. u)\n" ^ "let g w u =\n"
+    ^ "  if u >= 1. then invalid_arg \"saturated\";\n" ^ "  w /. (1. -. u)\n"
+    ^ "let h w u = w /. Float.max 1e-9 (1. -. u)\n" ^ "let i w u = w /. u"
+  in
+  hits "guarded, sequence-guarded, clamped and plain divisions are clean" []
+    (lint_one Ast_rules.unguarded_division ~path:"bin/fixture.ml" src)
+
+(* --- global-rng --------------------------------------------------------- *)
+
+let test_global_rng_fires () =
+  let src = "let () = Random.self_init ()\n" ^ "let x = Stdlib.Random.float 1.0" in
+  hits "global Random use outside lib/prng"
+    [ ("global-rng", 1); ("global-rng", 2) ]
+    (lint_one Ast_rules.global_rng ~path:"lib/core/fixture.ml" src)
+
+let test_global_rng_exempt_in_prng () =
+  let src = "let x = Random.bits ()" in
+  hits "lib/prng may touch the raw RNG" []
+    (lint_one Ast_rules.global_rng ~path:"lib/prng/fixture.ml" src);
+  hits "explicit rng threading is clean" []
+    (lint_one Ast_rules.global_rng ~path:"lib/core/fixture.ml"
+       "let f rng = Lopc_prng.Rng.float rng 1.0")
+
+(* --- physical-equality -------------------------------------------------- *)
+
+let test_physical_equality_fires () =
+  let src = "let f a b = a == b\n" ^ "let g a b = a != b" in
+  hits "== and != on non-unit values"
+    [ ("physical-equality", 1); ("physical-equality", 2) ]
+    (lint_one Ast_rules.physical_equality ~path:"bin/fixture.ml" src)
+
+let test_physical_equality_silent () =
+  let src = "let f r = r == ()\n" ^ "let g a b = a = b" in
+  hits "unit sentinel and structural equality are clean" []
+    (lint_one Ast_rules.physical_equality ~path:"bin/fixture.ml" src)
+
+(* --- banned-constructs -------------------------------------------------- *)
+
+let test_banned_constructs_fires () =
+  let src =
+    "let f x = Obj.magic x\n" ^ "let g () = exit 1\n"
+    ^ "let h () = Printf.printf \"boom\""
+  in
+  hits "Obj.magic, exit and printf inside lib/"
+    [ ("banned-constructs", 1); ("banned-constructs", 2); ("banned-constructs", 3) ]
+    (lint_one Ast_rules.banned_constructs ~path:"lib/core/fixture.ml" src)
+
+let test_banned_constructs_executables_may_exit () =
+  let src = "let g () = exit 1\n" ^ "let h () = Printf.printf \"ok\"" in
+  hits "exit and printf are fine in executables" []
+    (lint_one Ast_rules.banned_constructs ~path:"bin/fixture.ml" src)
+
+(* --- missing-mli -------------------------------------------------------- *)
+
+(* Runs [f] from inside a fresh temporary directory containing lib/with.ml,
+   lib/with.mli and lib/without.ml, so the sibling-interface lookup sees a
+   real file system. *)
+let in_fixture_tree f =
+  let tmp = Filename.temp_file "lopc_lint_test" "" in
+  Sys.remove tmp;
+  Sys.mkdir tmp 0o755;
+  Sys.mkdir (Filename.concat tmp "lib") 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat tmp name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "lib/with.ml" "let x = 1\n";
+  write "lib/with.mli" "val x : int\n";
+  write "lib/without.ml" "let x = 1\n";
+  let old = Sys.getcwd () in
+  Sys.chdir tmp;
+  Fun.protect ~finally:(fun () -> Sys.chdir old) f
+
+let test_missing_mli_fires () =
+  in_fixture_tree (fun () ->
+      hits "library module with no interface"
+        [ ("missing-mli", 1) ]
+        (lint_one Project_rules.missing_mli ~path:"lib/without.ml" "let x = 1");
+      hits "sibling interface present" []
+        (lint_one Project_rules.missing_mli ~path:"lib/with.ml" "let x = 1"))
+
+let test_missing_mli_ignores_executables () =
+  hits "executables need no interface" []
+    (lint_one Project_rules.missing_mli ~path:"bin/fixture.ml" "let x = 1")
+
+(* --- suppression -------------------------------------------------------- *)
+
+let test_suppression () =
+  hits "expression-level [@lint.allow]" []
+    (lint_all ~path:"bin/fixture.ml"
+       {|let f x = (x = 1.0 [@lint.allow "float-equality"])|});
+  hits "binding-level [@@lint.allow]" []
+    (lint_all ~path:"bin/fixture.ml"
+       "let f w u = w /. (1. -. u)\n[@@lint.allow \"unguarded-division\"]");
+  hits "file-level [@@@lint.allow]" []
+    (lint_all ~path:"bin/fixture.ml"
+       "[@@@lint.allow \"float-equality\"]\nlet f x = x = 1.0\nlet g y = y <> 2.");
+  (* A suppression only silences the rule it names. *)
+  hits "unrelated suppression does not mask"
+    [ ("float-equality", 1) ]
+    (lint_all ~path:"bin/fixture.ml"
+       {|let f x = (x = 1.0 [@lint.allow "unguarded-division"])|})
+
+(* --- driver ------------------------------------------------------------- *)
+
+let test_catalogue () =
+  let ids = List.map (fun (r : Rule.t) -> r.id) Driver.default_rules in
+  Alcotest.(check (list string))
+    "the six seeded rules, in catalogue order"
+    [
+      "float-equality";
+      "unguarded-division";
+      "global-rng";
+      "physical-equality";
+      "banned-constructs";
+      "missing-mli";
+    ]
+    ids
+
+let test_parse_error () =
+  match Driver.lint_source ~path:"bin/fixture.ml" "let let let" with
+  | [ f ] -> Alcotest.(check string) "parse-error finding" "parse-error" f.Finding.rule
+  | fs -> Alcotest.failf "expected one parse-error finding, got %d" (List.length fs)
+
+let test_json_report () =
+  let findings = Driver.lint_source ~path:"bin/fixture.ml" "let f x = x = 1.0" in
+  let json = Format.asprintf "%a" (fun ppf -> Driver.report ppf ~format:Driver.Json) findings in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json names the rule" true (contains {|"rule":"float-equality"|});
+  Alcotest.(check bool) "json carries the line" true (contains {|"line":1|});
+  Alcotest.(check bool) "json counts findings" true (contains {|"count": 1|})
+
+let suite =
+  [
+    Alcotest.test_case "float-equality fires" `Quick test_float_equality_fires;
+    Alcotest.test_case "float-equality silent" `Quick test_float_equality_silent;
+    Alcotest.test_case "unguarded-division fires" `Quick test_unguarded_division_fires;
+    Alcotest.test_case "unguarded-division silent" `Quick test_unguarded_division_silent;
+    Alcotest.test_case "global-rng fires" `Quick test_global_rng_fires;
+    Alcotest.test_case "global-rng exempt in prng" `Quick test_global_rng_exempt_in_prng;
+    Alcotest.test_case "physical-equality fires" `Quick test_physical_equality_fires;
+    Alcotest.test_case "physical-equality silent" `Quick test_physical_equality_silent;
+    Alcotest.test_case "banned-constructs fires" `Quick test_banned_constructs_fires;
+    Alcotest.test_case "banned-constructs executables" `Quick
+      test_banned_constructs_executables_may_exit;
+    Alcotest.test_case "missing-mli fires" `Quick test_missing_mli_fires;
+    Alcotest.test_case "missing-mli ignores executables" `Quick
+      test_missing_mli_ignores_executables;
+    Alcotest.test_case "suppression" `Quick test_suppression;
+    Alcotest.test_case "rule catalogue" `Quick test_catalogue;
+    Alcotest.test_case "parse error" `Quick test_parse_error;
+    Alcotest.test_case "json report" `Quick test_json_report;
+  ]

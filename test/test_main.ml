@@ -15,4 +15,5 @@ let () =
       ("lopc", Test_lopc.suite);
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);
+      ("lint", Test_lint.suite);
     ]
