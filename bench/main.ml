@@ -16,7 +16,7 @@ let artifact_names =
     "table3.1"; "fig5.1"; "fig5.2"; "fig5.3"; "table5.3"; "fig6.2";
     "ablate.arrival"; "ablate.priority"; "ablate.scv"; "ablate.solvers";
     "shared-memory"; "windowed"; "notification"; "ablate.multiserver"; "gap";
-    "assumptions"; "network"; "exact";
+    "assumptions"; "network"; "exact"; "fault";
   ]
 
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
@@ -118,7 +118,7 @@ let emit ~csv_dir (name, table) =
     close_out oc;
     Format.printf "(csv written to %s)@.@." path
 
-let () =
+let main () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let rec parse_csv = function
@@ -166,7 +166,16 @@ let () =
         | "assumptions" -> emit ~csv_dir (name, Experiments.assumptions_audit ~fidelity ())
         | "network" -> emit ~csv_dir (name, Experiments.network_contention ~fidelity ())
         | "exact" -> emit ~csv_dir (name, Experiments.exact_comparison ~fidelity ())
+        | "fault" -> emit ~csv_dir (name, Experiments.fault_sweep ~fidelity ())
         | other ->
           Printf.eprintf "unknown artifact %S; try --list\n" other;
           exit 1)
       selected
+
+let () =
+  try main () with
+  | Lopc_numerics.Fixed_point.Diverged msg ->
+    (* A diverged/saturated solver is a structured outcome, not a crash:
+       name it and fail the run. *)
+    Printf.eprintf "solver outcome: %s\n" msg;
+    exit 1

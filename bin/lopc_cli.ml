@@ -19,10 +19,13 @@ open Cmdliner
 module A = Lopc.All_to_all
 module CS = Lopc.Client_server
 module G = Lopc.General
+module FM = Lopc.Fault_model
+module Fixed_point = Lopc_numerics.Fixed_point
 module D = Lopc_dist.Distribution
 module Pattern = Lopc_workloads.Pattern
 module Machine = Lopc_activemsg.Machine
 module Metrics = Lopc_activemsg.Metrics
+module Fault = Lopc_activemsg.Fault
 module Welford = Lopc_stats.Welford
 
 (* --- shared argument definitions ------------------------------------------ *)
@@ -103,31 +106,142 @@ let params_of ~p ~st ~so ~c2 =
   try `Ok (Lopc.Params.create ~c2 ~p ~st ~so ())
   with Invalid_argument msg -> `Error (false, msg)
 
+(* --- fault flags ----------------------------------------------------------- *)
+
+let drop_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "drop" ] ~docv:"L" ~doc:"Per-traversal message loss probability.")
+
+let duplicate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "duplicate" ] ~docv:"D" ~doc:"Per-traversal message duplication probability.")
+
+let delay_epsilon_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "delay-epsilon" ] ~docv:"EPS"
+        ~doc:"Probability a traversal samples the delay-spike wire distribution.")
+
+let spike_mean_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "spike-mean" ] ~docv:"MEAN"
+        ~doc:"Mean of the exponential delay-spike distribution (default 10 St).")
+
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"T"
+        ~doc:
+          "Base retransmission timeout. Setting it enables the fault layer even \
+           with zero fault probabilities; default when other fault flags are set \
+           is 8(W + 2 St + 4 So).")
+
+let backoff_arg =
+  Arg.(
+    value & opt string "fixed"
+    & info [ "backoff" ] ~docv:"SCHEDULE"
+        ~doc:"Retry schedule: $(b,fixed), $(b,exp:FACTOR:CAP) or $(b,jitter:SPREAD).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "retries" ] ~docv:"B" ~doc:"Retry budget per request (max tries).")
+
+let parse_backoff s =
+  match String.split_on_char ':' s with
+  | [ "fixed" ] -> Ok Fault.Fixed
+  | [ "exp"; f; c ] -> (
+    match (float_of_string_opt f, float_of_string_opt c) with
+    | Some factor, Some cap -> Ok (Fault.Exponential { factor; cap })
+    | _ -> Error "--backoff exp:FACTOR:CAP needs two floats")
+  | [ "jitter"; spread ] -> (
+    match float_of_string_opt spread with
+    | Some spread -> Ok (Fault.Jittered { spread })
+    | None -> Error "--backoff jitter:SPREAD needs a float")
+  | _ -> Error (Printf.sprintf "unknown --backoff %S (want fixed, exp:F:C or jitter:S)" s)
+
+(* [Ok None] when every fault flag is at its no-fault default: the fault layer
+   engages when any probability is positive or --timeout is given explicitly. *)
+let fault_of ~st ~so ~w ~drop ~duplicate ~delay_epsilon ~spike_mean ~timeout ~backoff
+    ~retries =
+  if drop <= 0. && duplicate <= 0. && delay_epsilon <= 0. && timeout = None then Ok None
+  else
+    match parse_backoff backoff with
+    | Error _ as e -> e
+    | Ok backoff ->
+      let timeout =
+        match timeout with
+        | Some t -> t
+        | None -> 8. *. (w +. (2. *. st) +. (4. *. so))
+      in
+      let spike_mean = Option.value spike_mean ~default:(10. *. st) in
+      Ok
+        (Some
+           (Fault.create ~drop ~duplicate ~delay_epsilon
+              ~delay_spike:(D.Exponential spike_mean) ~backoff ~max_tries:retries
+              ~timeout ()))
+
 (* --- predict --------------------------------------------------------------- *)
 
 let print_all_to_all params ~w ~execution =
-  let s = A.solve ~execution params ~w in
-  let mode =
-    match execution with
-    | A.Interrupt -> ""
-    | A.Polling -> ", polling"
-    | A.Protocol_processor -> ", protocol processor"
+  match A.solve_status ~execution params ~w with
+  | None, status ->
+    `Error (false, "all-to-all solver: " ^ Fixed_point.status_to_string status)
+  | Some s, status ->
+    let mode =
+      match execution with
+      | A.Interrupt -> ""
+      | A.Polling -> ", polling"
+      | A.Protocol_processor -> ", protocol processor"
+    in
+    Format.printf "LoPC all-to-all prediction (%a, W=%g%s)@." Lopc.Params.pp params w mode;
+    Format.printf "  solver outcome      = %s@." (Fixed_point.status_to_string status);
+    Format.printf "  cycle time R        = %.2f cycles@." s.A.r;
+    Format.printf "    thread Rw         = %.2f@." s.A.rw;
+    Format.printf "    network 2 St      = %.2f@." (2. *. params.Lopc.Params.st);
+    Format.printf "    request Rq        = %.2f@." s.A.rq;
+    Format.printf "    reply Ry          = %.2f@." s.A.ry;
+    Format.printf "  contention C        = %.2f (%.1f%% of R, ~%.2f handlers)@."
+      s.A.contention
+      (100. *. s.A.contention /. s.A.r)
+      (s.A.contention /. params.Lopc.Params.so);
+    Format.printf "  bounds (Eq 5.12)    = (%.2f, %.2f)@." (A.lower_bound params ~w)
+      (A.upper_bound params ~w);
+    Format.printf "  LogP (naive)        = %.2f@." (Lopc.Logp.cycle_time params ~w);
+    Format.printf "  throughput X        = %.6f requests/cycle@." s.A.throughput;
+    Format.printf "  Qq=%.4f Qy=%.4f Uq=%.4f Uy=%.4f@." s.A.qq s.A.qy s.A.uq s.A.uy;
+    `Ok ()
+
+let print_fault_model fault params ~w =
+  let config =
+    FM.config ~drop:fault.Fault.drop ~duplicate:fault.Fault.duplicate
+      ~delay_epsilon:fault.Fault.delay_epsilon
+      ~spike_mean:(D.mean fault.Fault.delay_spike)
+      ~backoff:(fun try_ -> Fault.timeout_multiplier fault ~try_)
+      ~max_tries:fault.Fault.max_tries ~timeout:fault.Fault.timeout ()
   in
-  Format.printf "LoPC all-to-all prediction (%a, W=%g%s)@." Lopc.Params.pp params w mode;
-  Format.printf "  cycle time R        = %.2f cycles@." s.A.r;
-  Format.printf "    thread Rw         = %.2f@." s.A.rw;
-  Format.printf "    network 2 St      = %.2f@." (2. *. params.Lopc.Params.st);
-  Format.printf "    request Rq        = %.2f@." s.A.rq;
-  Format.printf "    reply Ry          = %.2f@." s.A.ry;
-  Format.printf "  contention C        = %.2f (%.1f%% of R, ~%.2f handlers)@."
-    s.A.contention
-    (100. *. s.A.contention /. s.A.r)
-    (s.A.contention /. params.Lopc.Params.so);
-  Format.printf "  bounds (Eq 5.12)    = (%.2f, %.2f)@." (A.lower_bound params ~w)
-    (A.upper_bound params ~w);
-  Format.printf "  LogP (naive)        = %.2f@." (Lopc.Logp.cycle_time params ~w);
-  Format.printf "  throughput X        = %.6f requests/cycle@." s.A.throughput;
-  Format.printf "  Qq=%.4f Qy=%.4f Uq=%.4f Uy=%.4f@." s.A.qq s.A.qy s.A.uq s.A.uy
+  match FM.solve_status config params ~w with
+  | None, status ->
+    `Error (false, "fault model solver: " ^ Fixed_point.status_to_string status)
+  | Some s, status ->
+    Format.printf "LoPC faulty all-to-all prediction (%a, W=%g)@." Lopc.Params.pp params w;
+    Format.printf "  fault: drop=%g dup=%g eps=%g timeout=%g retries=%d@."
+      fault.Fault.drop fault.Fault.duplicate fault.Fault.delay_epsilon
+      fault.Fault.timeout fault.Fault.max_tries;
+    Format.printf "  solver outcome      = %s@." (Fixed_point.status_to_string status);
+    Format.printf "  cycle time R        = %.2f cycles@." s.FM.r;
+    Format.printf "    thread Rw         = %.2f@." s.FM.rw;
+    Format.printf "    timeout wait      = %.2f@." s.FM.timeout_wait;
+    Format.printf "    request Rq        = %.2f@." s.FM.rq;
+    Format.printf "    reply Ry          = %.2f@." s.FM.ry;
+    Format.printf "  tries per cycle     = %.4f (handler load %.4f)@." s.FM.tries s.FM.load;
+    Format.printf "  failure rate q^B    = %.3e@." s.FM.failure_rate;
+    Format.printf "  goodput X           = %.6f requests/cycle@." s.FM.throughput;
+    Format.printf "  Qq=%.4f Qy=%.4f Uq=%.4f Uy=%.4f@." s.FM.qq s.FM.qy s.FM.uq s.FM.uy;
+    `Ok ()
 
 let print_client_server params ~w ~servers =
   let s = CS.throughput params ~w ~servers in
@@ -165,29 +279,46 @@ let polling_arg =
         ~doc:"Model polling-based message notification (LogP's CM-5 assumption).")
 
 let predict_cmd =
-  let run p st so c2 w pp polling pattern optimal =
+  let run p st so c2 w pp polling pattern optimal drop duplicate delay_epsilon
+      spike_mean timeout backoff retries =
     match params_of ~p ~st ~so ~c2 with
     | `Error _ as e -> e
     | `Ok params -> (
       match parse_pattern ~nodes:p pattern with
       | `Error _ as e -> e
       | `Ok pat -> (
-        try
-          (match pat with
-          | Pattern.All_to_all | Pattern.All_to_all_staggered ->
-            let execution =
-              if pp then A.Protocol_processor
-              else if polling then A.Polling
-              else A.Interrupt
-            in
-            print_all_to_all params ~w ~execution
-          | Pattern.Client_server { servers } ->
-            let servers = if optimal then CS.optimal_servers params ~w else servers in
-            print_client_server params ~w ~servers
-          | Pattern.Hotspot _ | Pattern.Multi_hop _ ->
-            print_general params ~w ~protocol_processor:pp pat);
-          `Ok ()
-        with Invalid_argument msg -> `Error (false, msg)))
+        match
+          fault_of ~st ~so ~w ~drop ~duplicate ~delay_epsilon ~spike_mean ~timeout
+            ~backoff ~retries
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok fault -> (
+          try
+            match (fault, pat) with
+            | Some fault, Pattern.All_to_all when not (pp || polling) ->
+              print_fault_model fault params ~w
+            | Some _, _ ->
+              `Error
+                ( false,
+                  "fault prediction models the interrupt-driven all-to-all workload \
+                   only" )
+            | None, (Pattern.All_to_all | Pattern.All_to_all_staggered) ->
+              let execution =
+                if pp then A.Protocol_processor
+                else if polling then A.Polling
+                else A.Interrupt
+              in
+              print_all_to_all params ~w ~execution
+            | None, Pattern.Client_server { servers } ->
+              let servers = if optimal then CS.optimal_servers params ~w else servers in
+              print_client_server params ~w ~servers;
+              `Ok ()
+            | None, (Pattern.Hotspot _ | Pattern.Multi_hop _) ->
+              print_general params ~w ~protocol_processor:pp pat;
+              `Ok ()
+          with
+          | Invalid_argument msg -> `Error (false, msg)
+          | Fixed_point.Diverged msg -> `Error (false, "solver outcome: " ^ msg))))
   in
   let optimal_arg =
     Arg.(
@@ -200,18 +331,26 @@ let predict_cmd =
     Term.(
       ret
         (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
-        $ pattern_arg $ optimal_arg))
+        $ pattern_arg $ optimal_arg $ drop_arg $ duplicate_arg $ delay_epsilon_arg
+        $ spike_mean_arg $ timeout_arg $ backoff_arg $ retries_arg))
 
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run p st so c2 w pp polling pattern seed cycles =
+  let run p st so c2 w pp polling pattern seed cycles drop duplicate delay_epsilon
+      spike_mean timeout backoff retries =
     match parse_pattern ~nodes:p pattern with
     | `Error _ as e -> e
     | `Ok pat -> (
+      match
+        fault_of ~st ~so ~w ~drop ~duplicate ~delay_epsilon ~spike_mean ~timeout
+          ~backoff ~retries
+      with
+      | Error msg -> `Error (false, msg)
+      | Ok fault -> (
       try
         let spec =
-          Pattern.to_spec ~protocol_processor:pp ~polling ~nodes:p
+          Pattern.to_spec ~protocol_processor:pp ~polling ?fault ~nodes:p
             ~work:(D.of_mean_scv ~mean:w ~scv:1.)
             ~handler:(D.of_mean_scv ~mean:so ~scv:c2)
             ~wire:(D.Constant st) pat
@@ -239,15 +378,27 @@ let simulate_cmd =
           (Metrics.response_percentile m 0.9)
           (Metrics.response_percentile m 0.95)
           (Metrics.response_percentile m 0.99);
+        (match fault with
+        | None -> ()
+        | Some _ ->
+          Format.printf
+            "  fault: tries=%.4f failed=%d retrans=%d dropped=%d dup=%d stale=%d@."
+            (Metrics.mean_tries m) m.Metrics.failed_cycles m.Metrics.retransmits
+            m.Metrics.dropped_messages m.Metrics.duplicate_deliveries
+            m.Metrics.stale_replies;
+          Format.printf "  goodput/offered     = %.4f (goodput %.6f, offered %.6f)@."
+            (Metrics.goodput m /. Metrics.offered_load m)
+            (Metrics.goodput m) (Metrics.offered_load m));
         `Ok ()
-      with Invalid_argument msg -> `Error (false, msg))
+      with Invalid_argument msg -> `Error (false, msg)))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the event-driven simulator")
     Term.(
       ret
         (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
-        $ pattern_arg $ seed_arg $ cycles_arg))
+        $ pattern_arg $ seed_arg $ cycles_arg $ drop_arg $ duplicate_arg
+        $ delay_epsilon_arg $ spike_mean_arg $ timeout_arg $ backoff_arg $ retries_arg))
 
 (* --- validate ---------------------------------------------------------------- *)
 

@@ -36,6 +36,19 @@ type msg = {
   cycle : cycle;
   mutable remaining_hops : int list;  (* hops still to visit after the current one *)
   mutable arrived : float;            (* arrival time at the current node *)
+  seq : int;  (* per-origin sequence number under faults; -1 otherwise *)
+}
+
+(* Retry state of the (single, window = 1) outstanding request of a node
+   while faults are injected. *)
+type pending = {
+  pseq : int;
+  pcycle : cycle;
+  pdest : int;
+  mutable tries : int;
+  mutable timer : Engine.handle option;
+  mutable reply_accepted : bool;
+  mutable last_sent : float;
 }
 
 type thread_state =
@@ -59,6 +72,10 @@ type node = {
   mutable recv_ni_free_at : float;
   mutable cycles_done : int;   (* completed cycles (for barrier pacing) *)
   mutable parked : bool;       (* waiting at a barrier *)
+  (* Fault-layer state (untouched when the spec injects no faults): *)
+  mutable next_seq : int;              (* sequence numbers for dedup *)
+  mutable pending : pending option;    (* in-flight request being retried *)
+  seen : (int, int) Hashtbl.t;         (* origin -> highest seq delivered *)
 }
 
 type machine = {
@@ -75,6 +92,12 @@ type machine = {
   (* Torus link bookkeeping: links.(node).(direction) is the time at which
      that outgoing link becomes free (timestamp-serialized FIFO). *)
   links : float array array;
+  (* Per-node fault-injection streams. Split from the master AFTER the node
+     streams, and consulted only for fault decisions, so a run with a
+     zero-probability fault config consumes exactly the same node-stream
+     draws as a fault-free run — the replay bit-identity the tests rely
+     on. Empty when [spec.fault = None]. *)
+  fault_rngs : Rng.t array;
 }
 
 let check_hop m hop =
@@ -163,7 +186,23 @@ and thread_done m node =
   in
   List.iter (check_hop m) hops;
   let first, rest = (List.hd hops, List.tl hops) in
-  send m ~src:node ~cycle ~kind:Request ~remaining:rest ~dest:first;
+  (match m.spec.Spec.fault with
+  | None -> send m ~src:node ~cycle ~kind:Request ~remaining:rest ~dest:first ~seq:(-1)
+  | Some f ->
+    if rest <> [] then
+      invalid_arg "Machine: faults require single-hop routes";
+    let seq = node.next_seq in
+    node.next_seq <- seq + 1;
+    let p =
+      { pseq = seq; pcycle = cycle; pdest = first; tries = 1; timer = None;
+        reply_accepted = false; last_sent = now }
+    in
+    node.pending <- Some p;
+    if m.measuring then
+      m.metrics.Metrics.request_sends <- m.metrics.Metrics.request_sends + 1;
+    let delay = Fault.timeout_for f ~try_:1 m.fault_rngs.(node.id) in
+    p.timer <- Some (Engine.schedule m.engine ~delay (fun _ -> request_timeout m node p));
+    send m ~src:node ~cycle ~kind:Request ~remaining:[] ~dest:first ~seq);
   (* Request-issue is a poll point: in polling mode any handlers that
      queued up during the work quantum run now, before the thread may
      continue with its next quantum. *)
@@ -172,9 +211,33 @@ and thread_done m node =
 
 (* --- message transport and handler execution ----------------------------- *)
 
-and send m ~src ~cycle ~kind ~remaining ~dest =
+(* Fault-aware send: each physical copy independently faces drop, a delay
+   spike, and (for the first copy) network duplication; all fault decisions
+   draw from the sender's fault stream only. *)
+and send m ~src ~cycle ~kind ~remaining ~dest ~seq =
+  match m.spec.Spec.fault with
+  | None -> send_copy m ~src ~cycle ~kind ~remaining ~dest ~seq ~spiked:false
+  | Some f ->
+    let frng = m.fault_rngs.(src.id) in
+    let emit () =
+      if Rng.bernoulli frng f.Fault.drop then begin
+        if m.measuring then
+          m.metrics.Metrics.dropped_messages <-
+            m.metrics.Metrics.dropped_messages + 1
+      end
+      else begin
+        let spiked =
+          f.Fault.delay_epsilon > 0. && Rng.bernoulli frng f.Fault.delay_epsilon
+        in
+        send_copy m ~src ~cycle ~kind ~remaining ~dest ~seq ~spiked
+      end
+    in
+    emit ();
+    if f.Fault.duplicate > 0. && Rng.bernoulli frng f.Fault.duplicate then emit ()
+
+and send_copy m ~src ~cycle ~kind ~remaining ~dest ~seq ~spiked =
   let now = Engine.now m.engine in
-  let msg = { kind; cycle; remaining_hops = remaining; arrived = Float.nan } in
+  let msg = { kind; cycle; remaining_hops = remaining; arrived = Float.nan; seq } in
   let gap = m.spec.Spec.gap in
   (* Injection waits for the sender's NI, occupies it for [gap], then the
      interconnect follows. With gap = 0 this reduces to the plain wire. *)
@@ -188,7 +251,14 @@ and send m ~src ~cycle ~kind ~remaining ~dest =
   in
   match m.spec.Spec.topology with
   | None ->
-    let st = Distribution.sample m.spec.Spec.wire (m.nodes.(dest)).rng in
+    let st =
+      if spiked then begin
+        match m.spec.Spec.fault with
+        | Some f -> Distribution.sample f.Fault.delay_spike m.fault_rngs.(src.id)
+        | None -> assert false
+      end
+      else Distribution.sample m.spec.Spec.wire (m.nodes.(dest)).rng
+    in
     cycle.wire_total <- cycle.wire_total +. st;
     ignore
       (Engine.schedule_at m.engine ~time:(injected +. st) (fun _ ->
@@ -231,7 +301,50 @@ and wire_arrival m node msg =
       (Engine.schedule_at m.engine ~time:(start +. gap) (fun _ -> arrival m node msg))
   end
 
+(* Fault-layer admission control: crash windows lose the message, request
+   deliveries are checked against the dedup table (but still handled at
+   full cost — the handler demand inflation the model predicts), and only
+   the first reply of the pending sequence number is accepted; every other
+   reply is discarded at zero cost. *)
 and arrival m node msg =
+  match m.spec.Spec.fault with
+  | None -> deliver m node msg
+  | Some f ->
+    let now = Engine.now m.engine in
+    if Fault.is_crashed f ~node:node.id ~now then begin
+      if m.measuring then
+        m.metrics.Metrics.dropped_messages <- m.metrics.Metrics.dropped_messages + 1
+    end
+    else begin
+      match msg.kind with
+      | Request ->
+        let origin = msg.cycle.origin in
+        (match Hashtbl.find_opt node.seen origin with
+        | Some last when msg.seq <= last ->
+          if m.measuring then
+            m.metrics.Metrics.duplicate_deliveries <-
+              m.metrics.Metrics.duplicate_deliveries + 1
+        | Some _ | None -> Hashtbl.replace node.seen origin msg.seq);
+        deliver m node msg
+      | Reply -> begin
+        match node.pending with
+        | Some p when p.pseq = msg.seq && not p.reply_accepted ->
+          p.reply_accepted <- true;
+          (match p.timer with
+          | Some h ->
+            Engine.cancel h;
+            p.timer <- None
+          | None -> ());
+          if m.measuring then
+            Welford.add m.metrics.Metrics.try_latency (now -. p.last_sent);
+          deliver m node msg
+        | Some _ | None ->
+          if m.measuring then
+            m.metrics.Metrics.stale_replies <- m.metrics.Metrics.stale_replies + 1
+      end
+    end
+
+and deliver m node msg =
   msg.arrived <- Engine.now m.engine;
   queue_signal m node msg.kind 1.;
   if m.measuring then begin
@@ -274,6 +387,11 @@ and try_dispatch m node =
       | Reply -> m.spec.Spec.reply_handler
     in
     let cost = Distribution.sample dist node.rng in
+    let cost =
+      match m.spec.Spec.fault with
+      | None -> cost
+      | Some f -> cost *. Fault.slowdown_at f ~node:node.id ~now
+    in
     if m.measuring then Welford.add m.metrics.Metrics.handler_service cost;
     ignore (Engine.schedule m.engine ~delay:cost (fun _ -> handler_done m node msg))
   end
@@ -287,13 +405,60 @@ and handler_done m node msg =
   | Request -> begin
     msg.cycle.rq_total <- msg.cycle.rq_total +. (now -. msg.arrived);
     match msg.remaining_hops with
-    | next :: rest -> send m ~src:node ~cycle:msg.cycle ~kind:Request ~remaining:rest ~dest:next
-    | [] -> send m ~src:node ~cycle:msg.cycle ~kind:Reply ~remaining:[] ~dest:msg.cycle.origin
+    | next :: rest ->
+      send m ~src:node ~cycle:msg.cycle ~kind:Request ~remaining:rest ~dest:next
+        ~seq:msg.seq
+    | [] ->
+      send m ~src:node ~cycle:msg.cycle ~kind:Reply ~remaining:[]
+        ~dest:msg.cycle.origin ~seq:msg.seq
   end
   | Reply -> complete_cycle m node msg);
   try_dispatch m node;
   (* With a protocol processor the thread runs regardless of handler
      activity; on a shared CPU it may only resume once the queue drained. *)
+  resume_thread_if_possible m node
+
+(* The retransmission timer of a pending request fired. *)
+and request_timeout m node p =
+  match m.spec.Spec.fault with
+  | None -> assert false
+  | Some f -> begin
+    (* Guard against a stale (logically cancelled) timer: the pending slot
+       must still hold this very request and no reply may be in. *)
+    match node.pending with
+    | Some q when q.pseq = p.pseq && not p.reply_accepted ->
+      if p.tries >= f.Fault.max_tries then give_up m node p
+      else begin
+        p.tries <- p.tries + 1;
+        p.last_sent <- Engine.now m.engine;
+        if m.measuring then begin
+          m.metrics.Metrics.retransmits <- m.metrics.Metrics.retransmits + 1;
+          m.metrics.Metrics.request_sends <- m.metrics.Metrics.request_sends + 1
+        end;
+        let delay = Fault.timeout_for f ~try_:p.tries m.fault_rngs.(node.id) in
+        p.timer <-
+          Some (Engine.schedule m.engine ~delay (fun _ -> request_timeout m node p));
+        send m ~src:node ~cycle:p.pcycle ~kind:Request ~remaining:[] ~dest:p.pdest
+          ~seq:p.pseq
+      end
+    | Some _ | None -> ()
+  end
+
+(* Retry budget exhausted: abandon the cycle. The thread moves on to its
+   next cycle; any late replies for this sequence number are discarded as
+   stale on arrival. *)
+and give_up m node p =
+  node.pending <- None;
+  node.outstanding <- node.outstanding - 1;
+  if m.measuring then begin
+    m.metrics.Metrics.measure_end <- Engine.now m.engine;
+    m.metrics.Metrics.failed_cycles <- m.metrics.Metrics.failed_cycles + 1;
+    Welford.add m.metrics.Metrics.tries_per_cycle (Float.of_int p.tries)
+  end;
+  finish_cycle m node;
+  (* Unlike the reply path, nothing else runs after this timer event: the
+     next cycle's work quantum must be kicked off here or the thread would
+     stay suspended forever. *)
   resume_thread_if_possible m node
 
 (* Reply handler finished at the origin: close the books on this cycle and
@@ -302,8 +467,16 @@ and complete_cycle m node msg =
   let now = Engine.now m.engine in
   let cycle = msg.cycle in
   assert (cycle.origin = node.id);
-  m.completed_total <- m.completed_total + 1;
   node.outstanding <- node.outstanding - 1;
+  (match m.spec.Spec.fault with
+  | None -> ()
+  | Some _ -> (
+    match node.pending with
+    | Some p when p.pseq = msg.seq ->
+      node.pending <- None;
+      if m.measuring then
+        Welford.add m.metrics.Metrics.tries_per_cycle (Float.of_int p.tries)
+    | Some _ | None -> ()));
   (match m.on_cycle with
   | None -> ()
   | Some observer ->
@@ -320,7 +493,6 @@ and complete_cycle m node msg =
       });
   if m.measuring then begin
     m.metrics.Metrics.measure_end <- now;
-    m.completed_measured <- m.completed_measured + 1;
     m.metrics.Metrics.cycles <- m.metrics.Metrics.cycles + 1;
     if cycle.t_start >= m.metrics.Metrics.measure_start then begin
       Welford.add m.metrics.Metrics.response (now -. cycle.t_start);
@@ -334,6 +506,13 @@ and complete_cycle m node msg =
         m.metrics.Metrics.response_quantiles
     end
   end;
+  finish_cycle m node
+
+(* Shared tail of answered and abandoned cycles: advance the counters that
+   pace the run loop, the barrier, and the thread's next cycle. *)
+and finish_cycle m node =
+  m.completed_total <- m.completed_total + 1;
+  if m.measuring then m.completed_measured <- m.completed_measured + 1;
   node.cycles_done <- node.cycles_done + 1;
   (* A blocked thread starts its next cycle now; a windowed thread that is
      still computing just sees its window open up. A barrier interval
@@ -387,7 +566,18 @@ let prepare ?on_cycle ~seed ~warmup ~max_events ~spec () =
           recv_ni_free_at = 0.;
           cycles_done = 0;
           parked = false;
+          next_seq = 0;
+          pending = None;
+          seen = Hashtbl.create 8;
         })
+  in
+  (* Fault streams MUST be split after every node stream so that the node
+     streams (and hence a zero-probability faulty run) are identical to a
+     fault-free run under the same seed. *)
+  let fault_rngs =
+    match spec.Spec.fault with
+    | None -> [||]
+    | Some _ -> Array.init spec.Spec.nodes (fun _ -> Rng.split master)
   in
   let thread_count =
     Array.fold_left (fun acc n -> if n.thread = None then acc else acc + 1) 0 nodes
@@ -395,7 +585,8 @@ let prepare ?on_cycle ~seed ~warmup ~max_events ~spec () =
   let m =
     { spec; engine; nodes; metrics; measuring = false; completed_total = 0;
       completed_measured = 0; thread_count; parked_count = 0; on_cycle;
-      links = Array.init spec.Spec.nodes (fun _ -> Array.make 4 0.) }
+      links = Array.init spec.Spec.nodes (fun _ -> Array.make 4 0.);
+      fault_rngs }
   in
   if thread_count = 0 then invalid_arg "Machine: no node runs a compute thread";
   (* Kick off every thread's first cycle (optionally staggered). *)

@@ -16,6 +16,14 @@ type t = {
   mutable max_backlog : int;
   mutable backlog_at_arrival : Welford.t;
   mutable cycles : int;
+  mutable failed_cycles : int;
+  mutable request_sends : int;
+  mutable retransmits : int;
+  mutable duplicate_deliveries : int;
+  mutable stale_replies : int;
+  mutable dropped_messages : int;
+  mutable tries_per_cycle : Welford.t;
+  mutable try_latency : Welford.t;
   mutable measure_start : float;
   mutable measure_end : float;
   request_queue : Time_average.t array;
@@ -40,6 +48,14 @@ let create ~nodes =
     max_backlog = 0;
     backlog_at_arrival = Welford.create ();
     cycles = 0;
+    failed_cycles = 0;
+    request_sends = 0;
+    retransmits = 0;
+    duplicate_deliveries = 0;
+    stale_replies = 0;
+    dropped_messages = 0;
+    tries_per_cycle = Welford.create ();
+    try_latency = Welford.create ();
     measure_start = 0.;
     measure_end = 0.;
     request_queue = mk ();
@@ -56,6 +72,19 @@ let throughput t =
   if dt <= 0. then Float.nan else Float.of_int t.cycles /. dt
 
 let mean_response t = Welford.mean t.response
+
+(* Goodput counts only cycles whose request was answered; offered load
+   counts every request send, including retransmits. The two coincide when
+   no faults are injected. *)
+let goodput t = throughput t
+
+let offered_load t =
+  let dt = elapsed t in
+  if dt <= 0. then Float.nan else Float.of_int t.request_sends /. dt
+
+let mean_tries t = Welford.mean t.tries_per_cycle
+
+let mean_try_latency t = Welford.mean t.try_latency
 
 let avg_over_nodes arrays ~upto =
   let n = Array.length arrays in
@@ -100,6 +129,14 @@ let reset_at t ~now =
   t.max_backlog <- 0;
   t.backlog_at_arrival <- Welford.create ();
   t.cycles <- 0;
+  t.failed_cycles <- 0;
+  t.request_sends <- 0;
+  t.retransmits <- 0;
+  t.duplicate_deliveries <- 0;
+  t.stale_replies <- 0;
+  t.dropped_messages <- 0;
+  t.tries_per_cycle <- Welford.create ();
+  t.try_latency <- Welford.create ();
   t.measure_start <- now;
   t.measure_end <- now;
   let reset_all = Array.iter (fun ta -> Time_average.reset ta ~now) in

@@ -32,6 +32,28 @@ type t = {
   mutable backlog_at_arrival : Welford.t;
       (** Read through {!arrival_backlog}. *)
   mutable cycles : int;        (** Completed measured cycles. *)
+  mutable failed_cycles : int;
+      (** Cycles abandoned after the fault layer's retry budget was
+          exhausted (always [0] without faults). *)
+  mutable request_sends : int;
+      (** Request transmissions, including retransmits — the offered
+          load's numerator. *)
+  mutable retransmits : int;
+      (** Timeout-triggered request retransmissions. *)
+  mutable duplicate_deliveries : int;
+      (** Request deliveries suppressed as duplicates by the handler-side
+          sequence-number check (retransmitted or network-duplicated
+          copies). Each still costs a full handler service. *)
+  mutable stale_replies : int;
+      (** Replies discarded at the origin because their cycle already
+          completed or another copy was accepted first. *)
+  mutable dropped_messages : int;
+      (** Message copies lost to drop faults or crash windows. *)
+  mutable tries_per_cycle : Welford.t;
+      (** Tries needed per finished (answered or abandoned) cycle. *)
+  mutable try_latency : Welford.t;
+      (** Latency of the successful try: last (re)transmission to reply
+          acceptance. *)
   mutable measure_start : float;  (** Simulation time when measurement
                                       began (after warm-up). *)
   mutable measure_end : float;    (** Simulation time of the last measured
@@ -62,6 +84,23 @@ val throughput : t -> float
 
 val mean_response : t -> float
 (** Mean cycle time [R]; [nan] when no cycles completed. *)
+
+val goodput : t -> float
+(** Successfully answered cycles per unit time — equals {!throughput}
+    (which never counts abandoned cycles); [nan] if nothing was
+    measured. *)
+
+val offered_load : t -> float
+(** Request sends (including retransmits) per unit time; with faults this
+    exceeds {!goodput} by the retry inflation, without faults the two are
+    equal. [nan] if nothing was measured. *)
+
+val mean_tries : t -> float
+(** Mean tries per finished cycle ([1.] without faults; [nan] when no
+    cycles finished). *)
+
+val mean_try_latency : t -> float
+(** Mean latency of the successful try (send to reply acceptance). *)
 
 val avg_request_queue : t -> float
 (** [Qq] averaged over nodes and time. *)

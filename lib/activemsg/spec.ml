@@ -19,6 +19,7 @@ type t = {
   initial_delay : (int -> float) option;
   barrier : barrier option;
   topology : Topology.t option;
+  fault : Fault.t option;
 }
 
 and barrier = { interval : int; cost : float }
@@ -40,9 +41,25 @@ let validate t =
     | None -> false
     | Some topo -> topo.Topology.rows * topo.Topology.cols <> t.nodes)
   then err "topology size does not match the node count"
+  else if t.fault <> None && t.topology <> None then
+    err "faults require the contention-free interconnect (topology = None)"
   else if Array.length t.threads <> t.nodes then
     err "threads array has %d entries for %d nodes" (Array.length t.threads) t.nodes
   else begin
+    let fault_problem =
+      match t.fault with
+      | None -> None
+      | Some f -> (
+          match Fault.validate ~nodes:t.nodes f with
+          | Error reason -> Some reason
+          | Ok _ ->
+              if
+                Array.exists
+                  (function Some th -> th.window > 1 | None -> false)
+                  t.threads
+              then Some "faults require blocking threads (window = 1)"
+              else None)
+    in
     let dist_problem =
       List.find_map
         (fun (name, d) ->
@@ -64,9 +81,10 @@ let validate t =
                | Ok _ -> None
                | Error reason -> Some ("thread work: " ^ reason)))
     in
-    match (dist_problem, thread_problem) with
-    | Some reason, _ | None, Some reason -> Error reason
-    | None, None -> Ok t
+    match (fault_problem, dist_problem, thread_problem) with
+    | Some reason, _, _ | None, Some reason, _ | None, None, Some reason ->
+        Error reason
+    | None, None, None -> Ok t
   end
 
 let uniform_other ~nodes ~origin =
@@ -103,7 +121,7 @@ let check spec =
   match validate spec with Ok s -> s | Error reason -> invalid_arg ("Spec: " ^ reason)
 
 let all_to_all ?(protocol_processor = false) ?(polling = false) ?(gap = 0.)
-    ?(staggered = false) ?(window = 1) ~nodes ~work ~handler ~wire () =
+    ?(staggered = false) ?(window = 1) ?fault ~nodes ~work ~handler ~wire () =
   let make_route origin =
     if staggered then round_robin ~nodes ~origin else uniform_other ~nodes ~origin
   in
@@ -120,9 +138,11 @@ let all_to_all ?(protocol_processor = false) ?(polling = false) ?(gap = 0.)
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault;
     }
 
-let client_server ?(protocol_processor = false) ~nodes ~servers ~work ~handler ~wire () =
+let client_server ?(protocol_processor = false) ?fault ~nodes ~servers ~work ~handler
+    ~wire () =
   if servers <= 0 || servers >= nodes then
     invalid_arg "Spec.client_server: need 0 < servers < nodes";
   check
@@ -141,4 +161,5 @@ let client_server ?(protocol_processor = false) ~nodes ~servers ~work ~handler ~
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault;
     }

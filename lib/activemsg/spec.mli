@@ -65,6 +65,13 @@ type t = {
           resynchronize the communication pattern"). *)
   topology : Topology.t option;
       (** See the note above the type. *)
+  fault : Fault.t option;
+      (** Optional fault-injection and recovery layer ({!Fault}): message
+          loss/duplication/delay spikes, per-node outage windows, and a
+          timeout–retransmit protocol with sequence-number duplicate
+          suppression. Requires blocking threads ([window = 1]),
+          single-hop routes and [topology = None]. [None] keeps the
+          paper's perfectly reliable interconnect. *)
 }
 
 and barrier = {
@@ -111,6 +118,7 @@ val all_to_all :
   ?gap:float ->
   ?staggered:bool ->
   ?window:int ->
+  ?fault:Fault.t ->
   nodes:int ->
   work:Distribution.t ->
   handler:Distribution.t ->
@@ -124,6 +132,7 @@ val all_to_all :
 
 val client_server :
   ?protocol_processor:bool ->
+  ?fault:Fault.t ->
   nodes:int ->
   servers:int ->
   work:Distribution.t ->

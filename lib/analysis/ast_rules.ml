@@ -372,5 +372,57 @@ let banned_constructs =
   in
   Lazy.force rule
 
+(* ------------------------------------------------------------------ *)
+(* bare-failwith                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bare_failwith =
+  let rec rule =
+    lazy
+      (Rule.v ~id:"bare-failwith" ~severity:Finding.Warning
+         ~summary:"failwith or raise (Failure _) inside lib/"
+         ~hint:
+           "Failure carries no structure a caller can match on; raise Invalid_argument \
+            for precondition violations, declare a dedicated exception, or return a \
+            Result"
+         ~check:(fun ~path structure ->
+           if not (Rule.in_library path) then []
+           else begin
+             let findings = ref [] in
+             let report loc msg =
+               findings := Rule.finding (Lazy.force rule) ~loc msg :: !findings
+             in
+             on_every_expr
+               (fun e ->
+                 match e.pexp_desc with
+                 | Pexp_apply (f, [ (_, arg) ]) -> (
+                   match (ident_parts f, arg.pexp_desc) with
+                   | ( Some [ ("raise" | "raise_notrace") ],
+                       Pexp_construct ({ txt = Lident "Failure"; _ }, Some _) ) ->
+                     report e.pexp_loc
+                       "raise (Failure _) in library code is an anonymous failure \
+                        callers cannot handle precisely"
+                   | _ -> ())
+                 | Pexp_ident { txt; loc } -> (
+                   match strip_stdlib (Longident.flatten txt) with
+                   | [ "failwith" ] ->
+                     report loc
+                       "failwith in library code is an anonymous failure callers \
+                        cannot handle precisely"
+                   | _ -> ())
+                 | _ -> ())
+               structure;
+             !findings
+           end))
+  in
+  Lazy.force rule
+
 let rules =
-  [ float_equality; unguarded_division; global_rng; physical_equality; banned_constructs ]
+  [
+    float_equality;
+    unguarded_division;
+    global_rng;
+    physical_equality;
+    banned_constructs;
+    bare_failwith;
+  ]

@@ -6,6 +6,7 @@ val unguarded_division : Rule.t
 val global_rng : Rule.t
 val physical_equality : Rule.t
 val banned_constructs : Rule.t
+val bare_failwith : Rule.t
 
 (** All AST rules, in catalogue order. *)
 val rules : Rule.t list

@@ -95,15 +95,6 @@ let solve_brent ?execution ?work_scv params ~w =
     Roots.brent ~f lo hi
   end
 
-let solve_iteration ?execution ?work_scv params ~w =
-  let lb = lower_bound params ~w in
-  let f r =
-    (* Clamp into the region where the closed forms are valid. *)
-    let r = Float.max r lb in
-    fixed_point_map ?execution ?work_scv params ~w r
-  in
-  Fixed_point.solve_scalar ~damping:0.5 ~tol:1e-12 ~f lb
-
 (* Clearing denominators in r − F(r) = 0: multiplying by
    r·(r − So)·(r² − r·So − So²) yields a polynomial of degree ≤ 5. Rather
    than expanding symbolically we interpolate it exactly from 6 samples. *)
@@ -163,18 +154,63 @@ let solution_of_r (params : Params.t) ~w ~work_scv ~execution r =
     contention = r -. lower_bound params ~w;
   }
 
-let solve ?(execution = Interrupt) ?(work_scv = 1.) ?(solve_method = Brent_on_residual)
-    params ~w =
+(* The reliable all-to-all model cannot saturate: the queue denominator's
+   positive root is the golden-ratio multiple of So, strictly below the
+   contention-free bound W + 2·St + 2·So where every bracket starts, so the
+   residual always crosses zero. [Saturated] is produced by the solvers
+   whose demand can outgrow capacity ([Amva], [General], [Fault_model]);
+   here a structured failure can only be [Diverged]. *)
+let solve_status ?(execution = Interrupt) ?(work_scv = 1.)
+    ?(solve_method = Brent_on_residual) params ~w =
   check params ~w;
   if work_scv < 0. || not (Float.is_finite work_scv) then
     invalid_arg "All_to_all: invalid work_scv";
-  let r =
-    match solve_method with
-    | Brent_on_residual -> solve_brent ~execution ~work_scv params ~w
-    | Damped_iteration -> solve_iteration ~execution ~work_scv params ~w
-    | Polynomial_roots -> solve_polynomial ~execution ~work_scv params ~w
-  in
-  solution_of_r params ~w ~work_scv ~execution r
+  let lb = lower_bound params ~w in
+  match solve_method with
+  | Damped_iteration ->
+    let f r =
+      (* Clamp into the region where the closed forms are valid. *)
+      let r = Float.max r lb in
+      fixed_point_map ~execution ~work_scv params ~w r
+    in
+    let r, status = Fixed_point.solve_scalar_status ~damping:0.5 ~tol:1e-12 ~f lb in
+    (match status with
+    | Fixed_point.Converged _ ->
+      (Some (solution_of_r params ~w ~work_scv ~execution (Float.max r lb)), status)
+    | status -> (None, status))
+  | Brent_on_residual | Polynomial_roots -> begin
+    let evals = ref 0 in
+    let f r =
+      incr evals;
+      fixed_point_map ~execution ~work_scv params ~w r -. r
+    in
+    match
+      (match solve_method with
+      | Polynomial_roots -> solve_polynomial ~execution ~work_scv params ~w
+      | Brent_on_residual | Damped_iteration ->
+        if f lb <= 0. then lb
+        else begin
+          let lo, hi = Roots.expand_bracket_upward ~f lb in
+          Roots.brent ~f lo hi
+        end)
+    with
+    | r ->
+      ( Some (solution_of_r params ~w ~work_scv ~execution r),
+        Fixed_point.Converged { iters = !evals } )
+    | exception (Roots.No_bracket | Roots.Not_converged _) ->
+      ( None,
+        Fixed_point.Diverged
+          {
+            iters = !evals;
+            residual = Float.abs (fixed_point_map ~execution ~work_scv params ~w lb -. lb);
+          } )
+  end
+
+let solve ?execution ?work_scv ?solve_method params ~w =
+  match solve_status ?execution ?work_scv ?solve_method params ~w with
+  | Some s, _ -> s
+  | None, status ->
+    raise (Fixed_point.Diverged ("All_to_all: " ^ Fixed_point.status_to_string status))
 
 let rule_of_thumb_constant ~c2 =
   let params = Params.create ~c2 ~p:2 ~st:0. ~so:1. () in

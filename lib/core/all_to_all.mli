@@ -54,6 +54,25 @@ type solve_method =
   | Polynomial_roots   (** Real roots of the cleared-denominator
                            polynomial of §5.3. *)
 
+val solve_status :
+  ?execution:execution ->
+  ?work_scv:float ->
+  ?solve_method:solve_method ->
+  Params.t ->
+  w:float ->
+  solution option * Lopc_numerics.Fixed_point.status
+(** [solve_status params ~w] solves the homogeneous model and reports a
+    structured outcome. [execution] defaults to [Interrupt]; [work_scv]
+    (squared coefficient of variation of the work quanta, default [1.])
+    only affects [Polling], whose handler waiting time includes the
+    thread's residual quantum. For [Brent_on_residual] the [Converged]
+    iteration count is the number of residual evaluations. The reliable
+    model never reports [Saturated] — its saturation floor lies strictly
+    below the contention-free cycle time (see {!Fault_model} for a model
+    that can).
+    @raise Invalid_argument if [w < 0.], [work_scv < 0.], or parameters
+    are invalid. *)
+
 val solve :
   ?execution:execution ->
   ?work_scv:float ->
@@ -61,12 +80,10 @@ val solve :
   Params.t ->
   w:float ->
   solution
-(** [solve params ~w] solves the homogeneous model. [execution] defaults
-    to [Interrupt]; [work_scv] (squared coefficient of variation of the
-    work quanta, default [1.]) only affects [Polling], whose handler
-    waiting time includes the thread's residual quantum.
-    @raise Invalid_argument if [w < 0.], [work_scv < 0.], or parameters
-    are invalid. *)
+(** Raising variant of {!solve_status}.
+    @raise Invalid_argument as {!solve_status}.
+    @raise Lopc_numerics.Fixed_point.Diverged on any non-converged
+    outcome. *)
 
 val fixed_point_map :
   ?execution:execution -> ?work_scv:float -> Params.t -> w:float -> float -> float

@@ -1,0 +1,226 @@
+module Fixed_point = Lopc_numerics.Fixed_point
+module Roots = Lopc_numerics.Roots
+
+type config = {
+  drop : float;
+  duplicate : float;
+  delay_epsilon : float;
+  spike_mean : float;
+  timeout : float;
+  backoff : int -> float;
+  max_tries : int;
+}
+
+let config ?(drop = 0.) ?(duplicate = 0.) ?(delay_epsilon = 0.) ?(spike_mean = 0.)
+    ?(backoff = fun _ -> 1.) ?(max_tries = 8) ~timeout () =
+  { drop; duplicate; delay_epsilon; spike_mean; timeout; backoff; max_tries }
+
+let validate c =
+  if not (Float.is_finite c.drop) || c.drop < 0. || c.drop >= 1. then
+    Error "Fault_model: drop probability must lie in [0, 1)"
+  else if not (Float.is_finite c.duplicate) || c.duplicate < 0. || c.duplicate > 1.
+  then Error "Fault_model: duplication probability must lie in [0, 1]"
+  else if
+    not (Float.is_finite c.delay_epsilon)
+    || c.delay_epsilon < 0. || c.delay_epsilon > 1.
+  then Error "Fault_model: delay-spike weight must lie in [0, 1]"
+  else if not (Float.is_finite c.spike_mean) || c.spike_mean < 0. then
+    Error "Fault_model: spike mean must be finite and >= 0"
+  else if not (Float.is_finite c.timeout) || c.timeout <= 0. then
+    Error "Fault_model: timeout must be positive and finite"
+  else if c.max_tries < 1 then Error "Fault_model: retry budget must be >= 1"
+  else Ok c
+
+let check c =
+  match validate c with Ok c -> c | Error reason -> invalid_arg reason
+
+(* P(at least one copy of a message is delivered): the primary copy
+   survives with 1 − ℓ; with probability d the network emits a second copy
+   and at least one of the two survives with 1 − ℓ². *)
+let delivery_probability c =
+  ((1. -. c.duplicate) *. (1. -. c.drop))
+  +. (c.duplicate *. (1. -. (c.drop *. c.drop)))
+
+(* A try succeeds when the request reaches the handler and a reply makes it
+   back; the two directions fail independently. (Multiple delivered request
+   copies generate extra replies, slightly raising the true success odds —
+   a second-order effect this first-order model ignores.) *)
+let per_try_failure c =
+  let pd = delivery_probability c in
+  1. -. (pd *. pd)
+
+(* E[tries per cycle] with retry budget B: sum_{n=0}^{B-1} q^n — the
+   ISSUE's 1/(1−ℓ) retry inflation, refined to a per-try round-trip
+   failure q and truncated at the budget. *)
+let expected_tries c =
+  let q = per_try_failure c in
+  let acc = ref 0. and qn = ref 1. in
+  for _ = 1 to c.max_tries do
+    acc := !acc +. !qn;
+    qn := !qn *. q
+  done;
+  !acc
+
+(* Fraction of cycles abandoned after B unanswered tries. *)
+let failure_probability c = per_try_failure c ** Float.of_int c.max_tries
+
+(* Mean deliveries per transmission attempt: the surviving copies. *)
+let deliveries_per_try c = (1. -. c.drop) *. (1. +. c.duplicate)
+
+(* Request-handler deliveries per completed cycle — the handler-demand
+   inflation: every delivered copy (retransmitted or duplicated) costs a
+   full handler service even when the dedup check flags it. *)
+let handler_load c = expected_tries c *. deliveries_per_try c
+
+(* Mean wire time per traversal under the ε-mixture of spikes. *)
+let effective_wire c (params : Params.t) =
+  ((1. -. c.delay_epsilon) *. params.st) +. (c.delay_epsilon *. c.spike_mean)
+
+(* Expected total timeout waiting on a cycle that eventually succeeds:
+   the j-th backoff T(j) is paid iff at least j tries fail, so
+   E = Σ_{j=1}^{B−1} T(j)·(q^j − q^B)/(1 − q^B). Failed tries replace the
+   round trip — the successful try then pays the ordinary residences. *)
+let expected_timeout_wait c =
+  let q = per_try_failure c in
+  if q <= 0. || c.max_tries <= 1 then 0.
+  else begin
+    let qb = q ** Float.of_int c.max_tries in
+    let acc = ref 0. and qj = ref q in
+    for j = 1 to c.max_tries - 1 do
+      acc := !acc +. (c.timeout *. c.backoff j *. (!qj -. qb));
+      qj := !qj *. q
+    done;
+    (* 1 − q^B > 0 since q < 1 (drop < 1 forces pd > 0). *)
+    (!acc /. (1. -. qb) [@lint.allow "unguarded-division"])
+  end
+
+type solution = {
+  r : float;
+  rw : float;
+  rq : float;
+  ry : float;
+  qq : float;
+  qy : float;
+  uq : float;
+  uy : float;
+  throughput : float;
+  tries : float;
+  timeout_wait : float;
+  load : float;
+  failure_rate : float;
+}
+
+(* Asymmetric generalization of [All_to_all.queues]: request and reply
+   handlers now have different utilizations sq = kq·So/R and sy = So/R.
+   From Qq = sq·(1 + Qq + Qy + β(sq+sy)) and Qy = sy·(1 + Qq + β·sq):
+     Qq·(1 − sq − sq·sy) = sq·(1 + sy + β(sq+sy) + β·sq·sy)
+   which reduces exactly to the paper's closed form at sq = sy. *)
+let queues ~beta sq sy =
+  let denom = 1. -. sq -. (sq *. sy) in
+  let qq =
+    (sq *. (1. +. sy +. (beta *. (sq +. sy)) +. (beta *. sq *. sy)) /. denom
+    [@lint.allow "unguarded-division"])
+    (* Safe: the solver keeps r strictly above the positive root of
+       denom(r) = 0 (the saturation floor). *)
+  in
+  let qy = sy *. (1. +. qq +. (beta *. sq)) in
+  (qq, qy)
+
+let lower_bound c (params : Params.t) ~w =
+  w +. expected_timeout_wait c +. (2. *. effective_wire c params)
+  +. (2. *. params.so)
+
+(* The cycle-time map under faults. With kq = handler_load:
+     R = Rw + E_wait + 2·St_eff + Rq + Ry,
+   where Rq is the per-visit request residence recovered from Little's law
+   at the inflated visit rate kq/R (Rq = Qq·R/kq), and Ry = Qy·R. *)
+let fixed_point_map c (params : Params.t) ~w r =
+  let beta = (params.c2 -. 1.) /. 2. in
+  let kq = handler_load c in
+  let sq = kq *. params.so /. r in
+  let sy = params.so /. r in
+  let qq, qy = queues ~beta sq sy in
+  let rw = ((w +. (params.so *. qq)) /. (1. -. sq) [@lint.allow "unguarded-division"]) in
+  (* Safe: r > saturation floor implies sq < 1 (see [solve_status]). *)
+  rw +. expected_timeout_wait c +. (2. *. effective_wire c params)
+  +. (qq *. r /. kq) +. (qy *. r)
+
+let solution_of_r c (params : Params.t) ~w r =
+  let beta = (params.c2 -. 1.) /. 2. in
+  let kq = handler_load c in
+  let sq = kq *. params.so /. r in
+  let sy = params.so /. r in
+  let qq, qy = queues ~beta sq sy in
+  let rw = ((w +. (params.so *. qq)) /. (1. -. sq) [@lint.allow "unguarded-division"]) in
+  {
+    r;
+    rw;
+    rq = qq *. r /. kq;
+    ry = qy *. r;
+    qq;
+    qy;
+    uq = sq;
+    uy = sy;
+    throughput = Float.of_int params.p /. r;
+    tries = expected_tries c;
+    timeout_wait = expected_timeout_wait c;
+    load = kq;
+    failure_rate = failure_probability c;
+  }
+
+let check_inputs c (params : Params.t) ~w =
+  (match Params.validate params with
+  | Ok _ -> ()
+  | Error reason -> invalid_arg ("Fault_model: " ^ reason));
+  if w < 0. || not (Float.is_finite w) then invalid_arg "Fault_model: invalid work value";
+  ignore (check c)
+
+let solve_status c (params : Params.t) ~w =
+  check_inputs c params ~w;
+  let kq = handler_load c in
+  let a = kq *. params.so in
+  let b = params.so in
+  (* Positive root of 1 − a/r − a·b/r² = 0: below it the asymmetric queue
+     denominators are non-positive and the request station is saturated. *)
+  let r_floor = (a +. Float.sqrt ((a *. a) +. (4. *. a *. b))) /. 2. in
+  let lb = lower_bound c params ~w in
+  let evals = ref 0 in
+  let f r =
+    incr evals;
+    fixed_point_map c params ~w r -. r
+  in
+  if r_floor >= lb then begin
+    (* The saturation floor sits above the contention-free bound: check
+       that a fixed point exists strictly above the floor. *)
+    let start = r_floor *. (1. +. 1e-9) in
+    if f start <= 0. then
+      (None, Fixed_point.Saturated { station = 0; utilization = a /. start })
+    else begin
+      match
+        let lo, hi = Roots.expand_bracket_upward ~f start in
+        Roots.brent ~f lo hi
+      with
+      | r -> (Some (solution_of_r c params ~w r), Fixed_point.Converged { iters = !evals })
+      | exception (Roots.No_bracket | Roots.Not_converged _) ->
+        (None, Fixed_point.Diverged { iters = !evals; residual = Float.abs (f lb) })
+    end
+  end
+  else if f lb <= 0. then
+    (* Degenerate but healthy: the fixed point is at (or below) the
+       contention-free bound, as in [All_to_all.solve_brent]. *)
+    (Some (solution_of_r c params ~w lb), Fixed_point.Converged { iters = !evals })
+  else begin
+    match
+      let lo, hi = Roots.expand_bracket_upward ~f lb in
+      Roots.brent ~f lo hi
+    with
+    | r -> (Some (solution_of_r c params ~w r), Fixed_point.Converged { iters = !evals })
+    | exception (Roots.No_bracket | Roots.Not_converged _) ->
+      (None, Fixed_point.Diverged { iters = !evals; residual = Float.abs (f lb) })
+  end
+
+let solve c params ~w =
+  match solve_status c params ~w with
+  | Some s, _ -> s
+  | None, status ->
+    raise (Fixed_point.Diverged ("Fault_model: " ^ Fixed_point.status_to_string status))

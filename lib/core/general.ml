@@ -80,7 +80,7 @@ let node_queues ~beta ~max_queue a b =
     (qq, qy)
   end
 
-let solve ?(tol = 1e-12) ?(max_iter = 200_000) t =
+let solve_status ?(tol = 1e-12) ?(max_iter = 200_000) t =
   (match validate t with
   | Ok _ -> ()
   | Error reason -> invalid_arg ("General: " ^ reason));
@@ -145,17 +145,42 @@ let solve ?(tol = 1e-12) ?(max_iter = 200_000) t =
           (* Contention-free starting point. *)
           1. /. (w +. (hops.(c) *. (st +. so)) +. st +. so))
   in
-  let { Fixed_point.value = x; _ } =
-    Fixed_point.solve_vector ~damping:0.1 ~tol ~max_iter ~f:step x0
-  in
-  let per_node = analyze x in
-  let cycle_times = Array.init p (fun c -> cycle_time per_node c) in
-  {
-    cycle_times;
-    throughputs = x;
-    node_solutions = per_node;
-    system_throughput = Array.fold_left ( +. ) 0. x;
-  }
+  let outcome, status = Fixed_point.solve_vector_status ~damping:0.1 ~tol ~max_iter ~f:step x0 in
+  let x = outcome.Fixed_point.value in
+  match status with
+  | Fixed_point.Converged _ ->
+    let per_node = analyze x in
+    let cycle_times = Array.init p (fun c -> cycle_time per_node c) in
+    ( Some
+        {
+          cycle_times;
+          throughputs = x;
+          node_solutions = per_node;
+          system_throughput = Array.fold_left ( +. ) 0. x;
+        },
+      status )
+  | _ ->
+    (* Diagnose the stall from the last iterate: a node whose request
+       handlers are driven to (or past) full utilization has no finite
+       fixed point — report it as saturation with the culprit node. *)
+    let per_node = analyze x in
+    let saturated = ref None in
+    Array.iteri
+      (fun k (ns : node_solution) ->
+        match !saturated with
+        | Some (_, best) when best >= ns.uq -> ()
+        | _ -> saturated := Some (k, ns.uq))
+      per_node;
+    (match !saturated with
+    | Some (station, utilization) when utilization >= 1. -. 1e-9 ->
+      (None, Fixed_point.Saturated { station; utilization })
+    | _ -> (None, status))
+
+let solve ?tol ?max_iter t =
+  match solve_status ?tol ?max_iter t with
+  | Some s, _ -> s
+  | None, status ->
+    raise (Fixed_point.Diverged ("General: " ^ Fixed_point.status_to_string status))
 
 let homogeneous_all_to_all (params : Params.t) ~w =
   let p = params.p in

@@ -58,11 +58,20 @@ val validate : t -> (t, string) result
     have length [P] with non-negative entries, thread rows have positive
     sums, at least one node runs a thread. *)
 
+val solve_status :
+  ?tol:float -> ?max_iter:int -> t -> solution option * Lopc_numerics.Fixed_point.status
+(** Solve the system A.1–A.10 and report a structured outcome. When the
+    iteration stalls, the last iterate is inspected: a node whose
+    request-handler utilization reached (or passed) 1 is reported as
+    [Saturated] with the node index, anything else as [Diverged].
+    Non-converged outcomes return no solution.
+    @raise Invalid_argument when {!validate} fails. *)
+
 val solve : ?tol:float -> ?max_iter:int -> t -> solution
-(** Solve the system A.1–A.10.
+(** Raising variant of {!solve_status}.
     @raise Invalid_argument when {!validate} fails.
-    @raise Lopc_numerics.Fixed_point.Diverged on convergence failure
-    (e.g. a node saturated by handler load). *)
+    @raise Lopc_numerics.Fixed_point.Diverged on any non-converged
+    outcome (e.g. a node saturated by handler load). *)
 
 val homogeneous_all_to_all : Params.t -> w:float -> t
 (** The §5 pattern expressed in Appendix-A form: every node a thread with

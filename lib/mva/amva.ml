@@ -50,26 +50,39 @@ let consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queu
     end
   end
 
-let solve ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.) ?(tol = 1e-12)
-    ?(max_iter = 100_000) ~stations ~population () =
-  if population < 0 then invalid_arg "Amva: negative population";
-  if think_time < 0. then invalid_arg "Amva: negative think time";
-  Array.iter
-    (fun s ->
+(* Collect every input problem before rejecting, so a caller assembling a
+   station array from data sees all bad stations (with their indices) in
+   one message instead of fixing them one invalid_arg at a time. *)
+let validate_inputs ~think_time ~stations ~population =
+  let problems = ref [] in
+  let add p = problems := p :: !problems in
+  if population < 0 then add "negative population";
+  if think_time < 0. then add "negative think time";
+  Array.iteri
+    (fun i s ->
       match Station.validate s with
       | Ok _ -> ()
-      | Error reason -> invalid_arg ("Amva: " ^ reason))
+      | Error reason -> add (Printf.sprintf "station %d: %s" i reason))
     stations;
+  match List.rev !problems with
+  | [] -> ()
+  | problems -> invalid_arg ("Amva: " ^ String.concat "; " problems)
+
+let solve_status ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.)
+    ?(tol = 1e-12) ?(max_iter = 100_000) ~stations ~population () =
+  validate_inputs ~think_time ~stations ~population;
   let k = Array.length stations in
   let n = Float.of_int population in
   if population = 0 then
-    {
-      Solution.throughput = 0.;
-      cycle_time = Float.nan;
-      residence = Array.map (fun (s : Station.t) -> s.demand) stations;
-      queue_length = Array.make k 0.;
-      utilization = Array.make k 0.;
-    }
+    ( Some
+        {
+          Solution.throughput = 0.;
+          cycle_time = Float.nan;
+          residence = Array.map (fun (s : Station.t) -> s.demand) stations;
+          queue_length = Array.make k 0.;
+          utilization = Array.make k 0.;
+        },
+      Fixed_point.Converged { iters = 0 } )
   else begin
     let arrival_factor =
       match approximation with Bard -> 1. | Schweitzer -> (n -. 1.) /. n
@@ -89,20 +102,55 @@ let solve ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.) ?(tol = 1
         (fun (s : Station.t) -> n *. s.demand /. (think_time +. total_demand))
         stations
     in
-    let { Fixed_point.value = queues; _ } =
-      Fixed_point.solve_vector ~damping:0.5 ~tol ~max_iter ~f:step q0
+    let outcome, status =
+      Fixed_point.solve_vector_status ~damping:0.5 ~tol ~max_iter ~f:step q0
     in
+    let queues = outcome.Fixed_point.value in
     let x = consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queues in
-    let residence = residence_of ~stations ~arrival_factor ~use_scv queues x in
-    let cycle = think_time +. Array.fold_left ( +. ) 0. residence in
-    {
-      Solution.throughput = x;
-      cycle_time = cycle;
-      residence;
-      queue_length = Array.map (fun r -> x *. r) residence;
-      utilization =
-        Array.map
-          (fun (s : Station.t) -> x *. s.demand /. Float.of_int s.servers)
-          stations;
-    }
+    match status with
+    | Fixed_point.Converged _ ->
+      let residence = residence_of ~stations ~arrival_factor ~use_scv queues x in
+      let cycle = think_time +. Array.fold_left ( +. ) 0. residence in
+      ( Some
+          {
+            Solution.throughput = x;
+            cycle_time = cycle;
+            residence;
+            queue_length = Array.map (fun r -> x *. r) residence;
+            utilization =
+              Array.map
+                (fun (s : Station.t) -> x *. s.demand /. Float.of_int s.servers)
+                stations;
+          },
+        status )
+    | _ ->
+      (* Diagnose the stall from the last iterate: a queueing station
+         pinned at (or past) full per-server utilization is saturation —
+         the demand admits no finite closed-network solution at this
+         population — which is far more actionable than a bare
+         iteration-budget report. *)
+      let saturated = ref None in
+      Array.iteri
+        (fun i (s : Station.t) ->
+          match s.kind with
+          | Station.Delay -> ()
+          | Station.Queueing ->
+            let u = x *. s.demand /. Float.of_int s.servers in
+            (match !saturated with
+            | Some (_, best) when best >= u -> ()
+            | _ -> saturated := Some (i, u)))
+        stations;
+      (match !saturated with
+      | Some (station, utilization) when utilization >= 1. -. 1e-9 ->
+        (None, Fixed_point.Saturated { station; utilization })
+      | _ -> (None, status))
   end
+
+let solve ?approximation ?use_scv ?think_time ?tol ?max_iter ~stations ~population () =
+  match
+    solve_status ?approximation ?use_scv ?think_time ?tol ?max_iter ~stations
+      ~population ()
+  with
+  | Some s, _ -> s
+  | None, status ->
+    raise (Fixed_point.Diverged ("Amva: " ^ Fixed_point.status_to_string status))

@@ -19,6 +19,31 @@ type approximation =
   | Bard        (** Arrival queue = steady-state queue. *)
   | Schweitzer  (** Arrival queue = (N−1)/N × steady-state queue. *)
 
+val solve_status :
+  ?approximation:approximation ->
+  ?use_scv:bool ->
+  ?think_time:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  stations:Station.t array ->
+  population:int ->
+  unit ->
+  Solution.t option * Lopc_numerics.Fixed_point.status
+(** [solve_status ~stations ~population ()] iterates the AMVA equations to
+    a fixed point and reports a structured outcome. [approximation]
+    defaults to [Bard] (the paper's), [use_scv] to [true], [think_time]
+    to [0.].
+
+    [Converged] carries the solution; when the iteration stalls the last
+    iterate is inspected and a queueing station at (or past) full
+    per-server utilization is reported as [Saturated] (station index and
+    utilization), anything else as [Diverged]. Non-converged outcomes
+    return no solution.
+
+    @raise Invalid_argument on invalid inputs. Unlike {!Exact_mva.solve},
+    every invalid station is reported at once, with its index — e.g.
+    ["Amva: station 0: non-positive demand; station 2: negative scv"]. *)
+
 val solve :
   ?approximation:approximation ->
   ?use_scv:bool ->
@@ -29,8 +54,7 @@ val solve :
   population:int ->
   unit ->
   Solution.t
-(** [solve ~stations ~population ()] iterates the AMVA equations to a fixed
-    point. [approximation] defaults to [Bard] (the paper's), [use_scv]
-    to [true], [think_time] to [0.].
-    @raise Invalid_argument on invalid inputs (as {!Exact_mva.solve}).
-    @raise Lopc_numerics.Fixed_point.Diverged if the iteration fails. *)
+(** Raising variant of {!solve_status}.
+    @raise Invalid_argument on invalid inputs (as {!solve_status}).
+    @raise Lopc_numerics.Fixed_point.Diverged on any non-converged
+    outcome, with the rendered status as message. *)

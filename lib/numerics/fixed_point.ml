@@ -1,17 +1,46 @@
 type outcome = { value : float array; iterations : int; residual : float }
 
+type status =
+  | Converged of { iters : int }
+  | Saturated of { station : int; utilization : float }
+  | Diverged of { iters : int; residual : float }
+
+(* The raising entry points below predate the structured [status] type and
+   are kept unchanged; type-directed disambiguation separates the exception
+   from the [status] constructor of the same name. *)
 exception Diverged of string
 
-let solve_scalar ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
-  if damping <= 0. || damping > 1. then invalid_arg "Fixed_point.solve_scalar: damping";
+let is_converged = function Converged _ -> true | Saturated _ | Diverged _ -> false
+
+let pp_status ppf = function
+  | Converged { iters } -> Format.fprintf ppf "converged in %d iterations" iters
+  | Saturated { station; utilization } ->
+      Format.fprintf ppf "saturated at station %d (utilization %.4f)" station utilization
+  | Diverged { iters; residual } ->
+      Format.fprintf ppf "diverged after %d iterations (residual %g)" iters residual
+
+let status_to_string s = Format.asprintf "%a" pp_status s
+
+(* Shared core for the scalar solvers: returns the last iterate, the
+   structured status, and a human-readable reason used by the raising
+   wrapper. *)
+let scalar_impl ~damping ~tol ~max_iter ~f ~name x0 =
+  if damping <= 0. || damping > 1. then invalid_arg (name ^ ": damping");
   let x = ref x0 in
-  let answer = ref None in
+  let answer : (float * status * string) option ref = ref None in
   (try
-     for _ = 1 to max_iter do
+     for iter = 1 to max_iter do
        let fx = f !x in
-       if not (Float.is_finite fx) then raise (Diverged "scalar iteration left the finite domain");
+       if not (Float.is_finite fx) then begin
+         answer :=
+           Some
+             ( !x,
+               Diverged { iters = iter; residual = Float.nan },
+               "scalar iteration left the finite domain" );
+         raise Exit
+       end;
        if Float.abs (fx -. !x) <= tol *. Float.max 1. (Float.abs !x) then begin
-         answer := Some fx;
+         answer := Some (fx, Converged { iters = iter }, "");
          raise Exit
        end;
        x := ((1. -. damping) *. !x) +. (damping *. fx)
@@ -19,31 +48,61 @@ let solve_scalar ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
    with Exit -> ());
   match !answer with
   | Some r -> r
-  | None -> raise (Diverged "scalar iteration budget exhausted")
+  | None ->
+      let residual = Float.abs (f !x -. !x) in
+      ( !x,
+        Diverged { iters = max_iter; residual },
+        "scalar iteration budget exhausted" )
+
+let solve_scalar_status ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+  let x, status, _ =
+    scalar_impl ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_scalar_status" x0
+  in
+  (x, status)
+
+let solve_scalar ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+  match scalar_impl ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_scalar" x0 with
+  | x, Converged _, _ -> x
+  | _, _, reason -> raise (Diverged reason)
 
 let max_norm_diff a b =
   let m = ref 0. in
   Array.iteri (fun i ai -> m := Float.max !m (Float.abs (ai -. b.(i)))) a;
   !m
 
-let solve_vector ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
-  if damping <= 0. || damping > 1. then invalid_arg "Fixed_point.solve_vector: damping";
+(* Shared core for the vector solvers, mirroring [scalar_impl]. *)
+let vector_impl ~damping ~tol ~max_iter ~f ~name x0 =
+  if damping <= 0. || damping > 1. then invalid_arg (name ^ ": damping");
   let n = Array.length x0 in
   let x = ref (Array.copy x0) in
-  let result = ref None in
+  let result : (outcome * status * string) option ref = ref None in
   (try
      for iter = 1 to max_iter do
        let fx = f !x in
-       if Array.length fx <> n then raise (Diverged "vector map changed dimension");
-       Array.iter
-         (fun v ->
-           if not (Float.is_finite v) then
-             raise (Diverged "vector iteration left the finite domain"))
-         fx;
+       if Array.length fx <> n then begin
+         result :=
+           Some
+             ( { value = !x; iterations = iter; residual = Float.nan },
+               Diverged { iters = iter; residual = Float.nan },
+               "vector map changed dimension" );
+         raise Exit
+       end;
+       if not (Array.for_all Float.is_finite fx) then begin
+         result :=
+           Some
+             ( { value = !x; iterations = iter; residual = Float.nan },
+               Diverged { iters = iter; residual = Float.nan },
+               "vector iteration left the finite domain" );
+         raise Exit
+       end;
        let residual = max_norm_diff fx !x in
        let scale = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1. !x in
        if residual <= tol *. scale then begin
-         result := Some { value = fx; iterations = iter; residual };
+         result :=
+           Some
+             ( { value = fx; iterations = iter; residual },
+               Converged { iters = iter },
+               "" );
          raise Exit
        end;
        let next =
@@ -54,7 +113,27 @@ let solve_vector ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
    with Exit -> ());
   match !result with
   | Some r -> r
-  | None -> raise (Diverged "vector iteration budget exhausted")
+  | None ->
+      let fx = f !x in
+      let residual =
+        if Array.length fx = n && Array.for_all Float.is_finite fx then
+          max_norm_diff fx !x
+        else Float.nan
+      in
+      ( { value = !x; iterations = max_iter; residual },
+        Diverged { iters = max_iter; residual },
+        "vector iteration budget exhausted" )
+
+let solve_vector_status ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+  let outcome, status, _ =
+    vector_impl ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_vector_status" x0
+  in
+  (outcome, status)
+
+let solve_vector ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+  match vector_impl ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_vector" x0 with
+  | outcome, Converged _, _ -> outcome
+  | _, _, reason -> raise (Diverged reason)
 
 let solve_scalar_aitken ?(tol = 1e-12) ?(max_iter = 200) ~f x0 =
   let x = ref x0 in

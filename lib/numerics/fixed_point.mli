@@ -11,9 +11,34 @@ type outcome = {
   residual : float;     (** Max-norm of [F x − x] at the final iterate. *)
 }
 
+type status =
+  | Converged of { iters : int }
+      (** The iteration met its tolerance after [iters] steps. *)
+  | Saturated of { station : int; utilization : float }
+      (** A queueing station was driven to (or past) full utilization, so
+          no finite fixed point exists. Produced by the model-level solvers
+          ([Amva], [All_to_all], [General], [Fault_model]) which know which
+          station saturated; the raw iteration itself never reports it. *)
+  | Diverged of { iters : int; residual : float }
+      (** The iteration left the finite domain or exhausted its budget;
+          [residual] is the last max-norm of [F x − x] ([nan] when the map
+          produced non-finite values). *)
+(** Structured solver outcome shared by every fixed-point solver in the
+    repository — no solve entry point returns silently after [max_iter]. *)
+
+val is_converged : status -> bool
+(** [true] only for [Converged _]. *)
+
+val pp_status : Format.formatter -> status -> unit
+(** Human-readable rendering, e.g. ["converged in 14 iterations"]. *)
+
+val status_to_string : status -> string
+(** [status_to_string s] is {!pp_status} rendered to a string. *)
+
 exception Diverged of string
-(** Raised when the iteration produces non-finite values or exhausts its
-    budget without meeting the tolerance. *)
+(** Raised by the legacy raising entry points when the iteration produces
+    non-finite values or exhausts its budget without meeting the
+    tolerance. New code should prefer the [_status] variants. *)
 
 val solve_scalar :
   ?damping:float ->
@@ -27,6 +52,18 @@ val solve_scalar :
     (plain iteration), [tol] to [1e-10], [max_iter] to [10_000].
     @raise Diverged if convergence fails. *)
 
+val solve_scalar_status :
+  ?damping:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  float ->
+  float * status
+(** Non-raising variant of {!solve_scalar}: returns the last iterate
+    together with a structured {!status} instead of raising. On
+    [Diverged _] the returned float is the last finite iterate (not a
+    solution). Only raises [Invalid_argument] on a bad [damping]. *)
+
 val solve_vector :
   ?damping:float ->
   ?tol:float ->
@@ -37,6 +74,18 @@ val solve_vector :
 (** Vector counterpart of {!solve_scalar} with the max norm. [f] must
     return an array of the same length as its input.
     @raise Diverged if convergence fails or lengths mismatch. *)
+
+val solve_vector_status :
+  ?damping:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float array -> float array) ->
+  float array ->
+  outcome * status
+(** Non-raising variant of {!solve_vector}. On [Diverged _] the returned
+    [outcome.value] is the last finite iterate, which model-level callers
+    use to diagnose saturation. Only raises [Invalid_argument] on a bad
+    [damping]. *)
 
 val solve_scalar_aitken :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float

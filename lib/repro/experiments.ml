@@ -576,6 +576,70 @@ let exact_comparison ?(fidelity = Full) ?(seed = 42) () =
         "LoPC err %" ]
     rows
 
+let fault_sweep ?(fidelity = Full) ?(seed = 42) () =
+  let p = 16 and w = 1000. and so = 200. and c2 = 1. in
+  let st = wire_latency in
+  let timeout = 20_000. and max_tries = 10 in
+  let spike_mean = 10. *. st in
+  let params = Params.create ~c2 ~p ~st ~so () in
+  (* (drop, duplicate, delay_epsilon) scenarios: a clean baseline, a loss
+     ladder through the NOW regime, then duplication and delay spikes
+     stacked on 2% loss. *)
+  let scenarios =
+    [
+      (0., 0., 0.); (0.01, 0., 0.); (0.02, 0., 0.); (0.05, 0., 0.);
+      (0.02, 0.05, 0.); (0.02, 0., 0.1);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (drop, duplicate, delay_epsilon) ->
+        let model =
+          Lopc.Fault_model.solve
+            (Lopc.Fault_model.config ~drop ~duplicate ~delay_epsilon
+               ~spike_mean ~max_tries ~timeout ())
+            params ~w
+        in
+        let fault =
+          Lopc_activemsg.Fault.create ~drop ~duplicate ~delay_epsilon
+            ~delay_spike:(D.Exponential spike_mean) ~max_tries ~timeout ()
+        in
+        let spec =
+          Pattern.to_spec ~fault ~nodes:p ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+            ~handler:(D.of_mean_scv ~mean:so ~scv:c2) ~wire:(D.Constant st)
+            Pattern.All_to_all
+        in
+        let m =
+          (Machine.run ~seed ~spec ~cycles:(sim_cycles fidelity / 2) ()).Machine.metrics
+        in
+        let sim = Metrics.mean_response m in
+        let finished = m.Metrics.cycles + m.Metrics.failed_cycles in
+        [
+          Table.Float drop;
+          Table.Float duplicate;
+          Table.Float delay_epsilon;
+          Table.Float model.Lopc.Fault_model.r;
+          Table.Float sim;
+          Table.Float (100. *. (model.Lopc.Fault_model.r -. sim) /. sim);
+          Table.Float model.Lopc.Fault_model.tries;
+          Table.Float (Metrics.mean_tries m);
+          Table.Float (Float.of_int m.Metrics.retransmits /. Float.of_int finished);
+          Table.Float (Metrics.goodput m /. Metrics.offered_load m);
+        ])
+      scenarios
+  in
+  Table.create
+    ~caption:
+      "Fault sweep: faulty all-to-all cycle time, analytical fault model vs \
+       simulator (P=16, W=1000, So=200, C2=1, St=40, timeout=20000, B=10; \
+       spike = Exp(10 St))"
+    ~columns:
+      [
+        "drop"; "dup"; "eps"; "model R"; "sim R"; "err %"; "model tries";
+        "sim tries"; "retrans/cycle"; "goodput/offered";
+      ]
+    rows
+
 let all ?(fidelity = Full) ?(seed = 42) () =
   [
     ("table3.1", table3_1 ());
@@ -596,4 +660,5 @@ let all ?(fidelity = Full) ?(seed = 42) () =
     ("assumptions", assumptions_audit ~fidelity ~seed ());
     ("network", network_contention ~fidelity ~seed ());
     ("exact", exact_comparison ~fidelity ~seed ());
+    ("fault", fault_sweep ~fidelity ~seed ());
   ]

@@ -116,5 +116,14 @@ val exact_comparison : ?fidelity:fidelity -> ?seed:int -> unit -> Table.t
     the LoPC model — the model's true approximation error without
     sampling noise. *)
 
+val fault_sweep : ?fidelity:fidelity -> ?seed:int -> unit -> Table.t
+(** Fault tolerance: faulty all-to-all cycle time across a loss ladder
+    ([ℓ ∈ {0, 1, 2, 5}%]) plus duplication and delay-spike scenarios
+    stacked on 2% loss, analytical model ({!Lopc.Fault_model}) vs the
+    fault-injecting simulator ([P = 16], [W = 1000], [So = 200],
+    [C² = 1], timeout 20000, retry budget 10). Also reports the retry
+    inflation (model vs measured tries), retransmissions per cycle, and
+    the goodput/offered-load ratio. *)
+
 val all : ?fidelity:fidelity -> ?seed:int -> unit -> (string * Table.t) list
 (** Every artifact above, keyed by its harness name (["fig5.1"], ...). *)

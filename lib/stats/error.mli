@@ -7,8 +7,10 @@
 
 val relative : predicted:float -> measured:float -> float
 (** Signed relative error [(predicted − measured) / measured]. Positive
-    means the model is pessimistic (over-predicts).
-    @raise Invalid_argument if [measured = 0.]. *)
+    means the model is pessimistic (over-predicts). Never raises: a zero
+    measured value propagates as [±infinity] ([nan] when [predicted] is
+    also zero), so one degenerate measurement does not tear down a whole
+    validation table — {!summarize} skips such pairs and counts them. *)
 
 val percent : predicted:float -> measured:float -> float
 (** [100 ×. relative]. *)
@@ -19,15 +21,23 @@ val absolute : predicted:float -> measured:float -> float
 type summary = {
   max_abs_percent : float;  (** Largest magnitude of signed percent error. *)
   mean_abs_percent : float; (** Mean of |percent error| (MAPE). *)
-  worst_index : int;        (** Index attaining [max_abs_percent]. *)
+  worst_index : int;        (** Index attaining [max_abs_percent];
+                                [-1] when every pair was skipped. *)
   bias_percent : float;     (** Mean signed percent error. *)
+  skipped : int;            (** Pairs with non-finite percent error (zero
+                                or non-finite measurements), excluded from
+                                the aggregates. *)
 }
 (** Aggregate error over a parameter sweep. *)
 
 val summarize : predicted:float array -> measured:float array -> summary
-(** [summarize ~predicted ~measured] pairs up the two series.
-    @raise Invalid_argument if lengths differ, the arrays are empty, or a
-    measured value is zero. *)
+(** [summarize ~predicted ~measured] pairs up the two series. Pairs whose
+    percent error is non-finite (a zero or non-finite measurement, or a
+    non-finite prediction) are skipped and counted in [skipped]; when
+    every pair is skipped the float aggregates are [nan] and
+    [worst_index = -1].
+    @raise Invalid_argument if lengths differ or the arrays are empty. *)
 
 val pp_summary : Format.formatter -> summary -> unit
-(** Render e.g. ["max |err| 5.8% (at index 0), MAPE 2.1%, bias +1.9%"]. *)
+(** Render e.g. ["max |err| 5.8% (at index 0), MAPE 2.1%, bias +1.9%"],
+    with a skipped-pair count appended when nonzero. *)

@@ -70,7 +70,8 @@ let route_for ~nodes c = function
   | Hotspot { hot; fraction } -> Spec.hotspot ~nodes ~origin:c ~hot ~fraction
   | Multi_hop { hops } -> Spec.multi_hop ~nodes ~origin:c ~hops
 
-let to_spec ?(protocol_processor = false) ?(polling = false) ~nodes ~work ~handler ~wire t =
+let to_spec ?(protocol_processor = false) ?(polling = false) ?fault ~nodes ~work
+    ~handler ~wire t =
   let t = check ~nodes t in
   {
     Spec.nodes;
@@ -87,6 +88,7 @@ let to_spec ?(protocol_processor = false) ?(polling = false) ~nodes ~work ~handl
     initial_delay = None;
     barrier = None;
     topology = None;
+    fault;
   }
 
 let description = function

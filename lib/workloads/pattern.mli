@@ -40,6 +40,7 @@ val to_general :
 val to_spec :
   ?protocol_processor:bool ->
   ?polling:bool ->
+  ?fault:Lopc_activemsg.Fault.t ->
   nodes:int ->
   work:Distribution.t ->
   handler:Distribution.t ->
@@ -47,7 +48,8 @@ val to_spec :
   t ->
   Lopc_activemsg.Spec.t
 (** Lower to a simulator machine with the given service-time
-    distributions. @raise Invalid_argument when {!validate} fails. *)
+    distributions; [fault] optionally injects the {!Lopc_activemsg.Fault}
+    failure layer. @raise Invalid_argument when {!validate} fails. *)
 
 val description : t -> string
 (** One-line human-readable name. *)

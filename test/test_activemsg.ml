@@ -23,6 +23,7 @@ let single_client_spec ?(protocol_processor = false) ~work ~handler ~wire () =
     initial_delay = None;
     barrier = None;
     topology = None;
+    fault = None;
   }
 
 let test_contention_free_exact () =
@@ -131,6 +132,7 @@ let test_multi_hop_wire_count () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   let r = Machine.run ~spec ~cycles:500 () in
@@ -154,6 +156,7 @@ let test_self_request_allowed () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   let r = Machine.run ~spec ~cycles:200 () in
@@ -206,6 +209,7 @@ let test_spec_validation () =
          initial_delay = None;
          barrier = None;
          topology = None;
+         fault = None;
        }
    with
   | Error _ -> ()
@@ -224,6 +228,7 @@ let test_spec_validation () =
         initial_delay = None;
         barrier = None;
         topology = None;
+        fault = None;
       }
   with
   | Error _ -> ()
@@ -259,6 +264,7 @@ let test_route_out_of_range_rejected () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   Alcotest.(check bool) "bad hop rejected" true
@@ -301,6 +307,7 @@ let test_window_pipeline_exact () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   let r = Machine.run ~spec ~cycles:2000 () in
@@ -326,6 +333,7 @@ let test_window_one_has_blocking_semantics () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   let r = Machine.run ~spec ~cycles:1000 () in
@@ -347,6 +355,7 @@ let test_window_validation () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   match Spec.validate spec with
@@ -385,6 +394,7 @@ let test_polling_defers_handlers () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   let first_r polling =
@@ -442,6 +452,7 @@ let test_gap_serializes_ni () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   let r = Machine.run ~warmup_cycles:0 ~spec ~cycles:2 () in
@@ -462,6 +473,7 @@ let test_gap_contention_free_exact () =
       initial_delay = None;
       barrier = None;
       topology = None;
+      fault = None;
     }
   in
   let r = Machine.run ~spec ~cycles:500 () in

@@ -225,6 +225,37 @@ let test_polling_model_accuracy () =
           (100. *. err))
     [ 0.; 100.; 500.; 1000.; 4000. ]
 
+let test_fault_model_accuracy () =
+  (* The analytical fault companion against the fault-injecting simulator
+     across the NOW loss regime (timeout well above the round trip, ample
+     retry budget — the model's validity envelope). *)
+  let params = Params.create ~c2:1. ~p:16 ~st:40. ~so:200. () in
+  List.iter
+    (fun drop ->
+      let timeout = 20_000. and max_tries = 10 in
+      let model =
+        Lopc.Fault_model.solve
+          (Lopc.Fault_model.config ~drop ~max_tries ~timeout ())
+          params ~w:1000.
+      in
+      let fault = Lopc_activemsg.Fault.create ~drop ~max_tries ~timeout () in
+      let spec =
+        Lopc_workloads.Pattern.to_spec ~fault ~nodes:16 ~work:(D.Exponential 1000.)
+          ~handler:(D.Exponential 200.) ~wire:(D.Constant 40.)
+          Lopc_workloads.Pattern.All_to_all
+      in
+      let m = (Machine.run ~spec ~cycles:50_000 ()).Machine.metrics in
+      let sim = Metrics.mean_response m in
+      let err = (model.Lopc.Fault_model.r -. sim) /. sim in
+      if Float.abs err > 0.08 then
+        Alcotest.failf "drop %g: model %g vs sim %g (err %.1f%%)" drop
+          model.Lopc.Fault_model.r sim (100. *. err);
+      let tries_err = model.Lopc.Fault_model.tries -. Metrics.mean_tries m in
+      if Float.abs tries_err > 0.02 then
+        Alcotest.failf "drop %g: retry inflation %g vs measured %g" drop
+          model.Lopc.Fault_model.tries (Metrics.mean_tries m))
+    [ 0.01; 0.05 ]
+
 let suite =
   [
     Alcotest.test_case "all-to-all within paper accuracy" `Slow test_all_to_all_accuracy;
@@ -241,4 +272,5 @@ let suite =
     Alcotest.test_case "seed stability" `Slow test_seed_stability_of_validation;
     Alcotest.test_case "windowed extension accuracy" `Slow test_windowed_model_accuracy;
     Alcotest.test_case "polling extension accuracy" `Slow test_polling_model_accuracy;
+    Alcotest.test_case "fault model accuracy" `Slow test_fault_model_accuracy;
   ]

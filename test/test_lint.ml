@@ -105,6 +105,29 @@ let test_banned_constructs_executables_may_exit () =
   hits "exit and printf are fine in executables" []
     (lint_one Ast_rules.banned_constructs ~path:"bin/fixture.ml" src)
 
+(* --- bare-failwith ------------------------------------------------------ *)
+
+let test_bare_failwith_fires () =
+  let src =
+    "let f () = failwith \"boom\"\n" ^ "let g () = raise (Failure \"boom\")\n"
+    ^ "let h msg = raise_notrace (Failure msg)"
+  in
+  hits "failwith and raised Failure inside lib/"
+    [ ("bare-failwith", 1); ("bare-failwith", 2); ("bare-failwith", 3) ]
+    (lint_one Ast_rules.bare_failwith ~path:"lib/core/fixture.ml" src)
+
+let test_bare_failwith_silent () =
+  let src =
+    "let f () = invalid_arg \"bad input\"\n"
+    ^ "let g x = match x with Some v -> v | None -> raise Not_found\n"
+    ^ "let h x = try x () with Failure _ -> 0"
+  in
+  hits "invalid_arg, other exceptions and Failure handlers are clean" []
+    (lint_one Ast_rules.bare_failwith ~path:"lib/core/fixture.ml" src);
+  hits "executables may failwith" []
+    (lint_one Ast_rules.bare_failwith ~path:"bin/fixture.ml"
+       "let f () = failwith \"boom\"")
+
 (* --- missing-mli -------------------------------------------------------- *)
 
 (* Runs [f] from inside a fresh temporary directory containing lib/with.ml,
@@ -162,13 +185,14 @@ let test_suppression () =
 let test_catalogue () =
   let ids = List.map (fun (r : Rule.t) -> r.id) Driver.default_rules in
   Alcotest.(check (list string))
-    "the six seeded rules, in catalogue order"
+    "the seven seeded rules, in catalogue order"
     [
       "float-equality";
       "unguarded-division";
       "global-rng";
       "physical-equality";
       "banned-constructs";
+      "bare-failwith";
       "missing-mli";
     ]
     ids
@@ -203,6 +227,8 @@ let suite =
     Alcotest.test_case "banned-constructs fires" `Quick test_banned_constructs_fires;
     Alcotest.test_case "banned-constructs executables" `Quick
       test_banned_constructs_executables_may_exit;
+    Alcotest.test_case "bare-failwith fires" `Quick test_bare_failwith_fires;
+    Alcotest.test_case "bare-failwith silent" `Quick test_bare_failwith_silent;
     Alcotest.test_case "missing-mli fires" `Quick test_missing_mli_fires;
     Alcotest.test_case "missing-mli ignores executables" `Quick
       test_missing_mli_ignores_executables;

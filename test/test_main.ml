@@ -12,6 +12,7 @@ let () =
       ("topology", Test_topology.suite);
       ("markov", Test_markov.suite);
       ("activemsg", Test_activemsg.suite);
+      ("fault", Test_fault.suite);
       ("lopc", Test_lopc.suite);
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);

@@ -151,7 +151,12 @@ let test_batch_means_partial () =
 let test_error_metrics () =
   feq "relative" 0.1 (Error.relative ~predicted:110. ~measured:100.);
   feq "percent" (-37.) (Error.percent ~predicted:63. ~measured:100.);
-  feq "absolute" 10. (Error.absolute ~predicted:110. ~measured:100.)
+  feq "absolute" 10. (Error.absolute ~predicted:110. ~measured:100.);
+  (* A zero measurement propagates instead of raising. *)
+  Alcotest.(check bool) "zero measured is +inf" true
+    (Float.equal Float.infinity (Error.relative ~predicted:5. ~measured:0.));
+  Alcotest.(check bool) "0/0 is nan" true
+    (Float.is_nan (Error.relative ~predicted:0. ~measured:0.))
 
 let test_error_summary () =
   let s =
@@ -160,7 +165,20 @@ let test_error_summary () =
   feq "max abs" 6. s.Error.max_abs_percent;
   Alcotest.(check int) "worst index" 0 s.Error.worst_index;
   feq "bias" (2. /. 3.) s.Error.bias_percent;
-  feq "mape" (10. /. 3.) s.Error.mean_abs_percent
+  feq "mape" (10. /. 3.) s.Error.mean_abs_percent;
+  Alcotest.(check int) "nothing skipped" 0 s.Error.skipped
+
+let test_error_summary_skips () =
+  (* Degenerate pairs are dropped from the aggregates and counted. *)
+  let s = Error.summarize ~predicted:[| 106.; 100. |] ~measured:[| 100.; 0. |] in
+  feq "max abs over finite pairs" 6. s.Error.max_abs_percent;
+  Alcotest.(check int) "worst index" 0 s.Error.worst_index;
+  Alcotest.(check int) "one skipped" 1 s.Error.skipped;
+  feq "mape over finite pairs" 6. s.Error.mean_abs_percent;
+  let all = Error.summarize ~predicted:[| 1.; 2. |] ~measured:[| 0.; 0. |] in
+  Alcotest.(check int) "all skipped" 2 all.Error.skipped;
+  Alcotest.(check int) "no worst index" (-1) all.Error.worst_index;
+  Alcotest.(check bool) "nan mape" true (Float.is_nan all.Error.mean_abs_percent)
 
 let test_error_summary_invalid () =
   Alcotest.check_raises "length mismatch" (Invalid_argument "Error.summarize: length mismatch")
@@ -238,6 +256,8 @@ let suite =
     Alcotest.test_case "error metrics" `Quick test_error_metrics;
     Alcotest.test_case "error summary" `Quick test_error_summary;
     Alcotest.test_case "error summary invalid" `Quick test_error_summary_invalid;
+    Alcotest.test_case "error summary skips degenerate pairs" `Quick
+      test_error_summary_skips;
     Alcotest.test_case "p2 exact below five samples" `Quick test_p2_small_sample_exact;
     Alcotest.test_case "p2 empty" `Quick test_p2_empty;
     Alcotest.test_case "p2 uniform median" `Quick test_p2_uniform_median;

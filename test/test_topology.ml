@@ -136,6 +136,7 @@ let test_sim_single_message_latency () =
       initial_delay = None;
       barrier = None;
       topology = Some t;
+      fault = None;
     }
   in
   let r = Machine.run ~spec:base ~cycles:200 () in
