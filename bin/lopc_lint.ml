@@ -1,16 +1,39 @@
 (* lopc-lint: repo-specific static analysis for model-safety and
-   reproducibility invariants. Exit codes: 0 clean, 1 findings, 2 usage. *)
+   reproducibility invariants, in two stages: syntactic rules over the
+   parse tree, and (with --typed) interprocedural rules over the .cmt
+   typed trees dune writes during the build.
+
+   Exit codes: 0 clean, 1 error-severity findings (any findings with
+   --warn-as-error), 2 usage. *)
 
 module Driver = Lopc_analysis.Driver
+module Typed_driver = Lopc_analysis.Typed_driver
+module Explain = Lopc_analysis.Explain
+module Finding = Lopc_analysis.Finding
 
 let usage =
-  "lopc_lint [--format=human|json] [--list-rules] [PATH ...]\n\
+  "lopc_lint [OPTIONS] [PATH ...]\n\
    Lint .ml/.mli sources under the given files or directories\n\
-   (default: lib bin bench examples)."
+   (default: lib bin bench examples test).\n\n\
+   --typed additionally runs the cross-module analyses over the .cmt files\n\
+   of the same roots (falling back to _build/default/<root>), so run it\n\
+   after `dune build`."
+
+let list_rules ppf =
+  List.iter
+    (fun (e : Explain.entry) ->
+      Format.fprintf ppf "%-24s %-7s %-9s %s@." e.id
+        (Finding.severity_to_string e.severity)
+        e.stage e.summary)
+    Explain.entries
 
 let () =
   let format = ref Driver.Human in
-  let list_rules = ref false in
+  let want_list = ref false in
+  let typed = ref false in
+  let warn_as_error = ref false in
+  let entries = ref [] in
+  let explain = ref None in
   let paths = ref [] in
   let set_format = function
     | "human" -> format := Driver.Human
@@ -22,7 +45,18 @@ let () =
   let spec =
     [
       ("--format", Arg.String set_format, "FMT Output format: human (default) or json");
-      ("--list-rules", Arg.Set list_rules, " Print the rule catalogue and exit");
+      ("--list-rules", Arg.Set want_list, " Print the rule catalogue and exit");
+      ("--typed", Arg.Set typed, " Also run the typed cross-module analyses");
+      ( "--entry",
+        Arg.String (fun e -> entries := e :: !entries),
+        "KEY Extra determinism-taint entry point (key or key prefix, e.g. \
+         Amva.solve_status or Amva); repeatable" );
+      ( "--explain",
+        Arg.String (fun id -> explain := Some id),
+        "ID Print the rationale and a minimal violating example for a rule" );
+      ( "--warn-as-error",
+        Arg.Set warn_as_error,
+        " Exit nonzero on warnings too, not just errors" );
     ]
   in
   (try Arg.parse_argv Sys.argv spec (fun p -> paths := p :: !paths) usage with
@@ -32,13 +66,23 @@ let () =
   | Arg.Help msg ->
     print_string msg;
     exit 0);
-  if !list_rules then begin
-    Driver.list_rules Format.std_formatter ();
+  (match !explain with
+  | Some id -> (
+    match Explain.find id with
+    | Some entry ->
+      Explain.pp_entry Format.std_formatter entry;
+      exit 0
+    | None ->
+      Format.eprintf "lopc_lint: unknown rule %S; --list-rules shows the catalogue@." id;
+      exit 2)
+  | None -> ());
+  if !want_list then begin
+    list_rules Format.std_formatter;
     exit 0
   end;
   let roots =
     match List.rev !paths with
-    | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples" ]
+    | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples"; "test" ]
     | roots ->
       List.iter
         (fun r ->
@@ -49,6 +93,15 @@ let () =
         roots;
       roots
   in
-  let findings = Driver.lint_paths roots in
+  let syntactic = Driver.lint_paths roots in
+  let typed_findings =
+    if !typed then Typed_driver.analyze_paths ~entries:(List.rev !entries) roots
+    else []
+  in
+  let findings = List.sort_uniq Finding.compare (syntactic @ typed_findings) in
   Driver.report Format.std_formatter ~format:!format findings;
-  exit (if findings = [] then 0 else 1)
+  let failing =
+    if !warn_as_error then findings
+    else List.filter (fun (f : Finding.t) -> f.severity = Finding.Error) findings
+  in
+  exit (if failing = [] then 0 else 1)

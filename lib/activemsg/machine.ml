@@ -580,7 +580,7 @@ let prepare ?on_cycle ~seed ~warmup ~max_events ~spec () =
     | Some _ -> Array.init spec.Spec.nodes (fun _ -> Rng.split master)
   in
   let thread_count =
-    Array.fold_left (fun acc n -> if n.thread = None then acc else acc + 1) 0 nodes
+    Array.fold_left (fun acc n -> if Option.is_none n.thread then acc else acc + 1) 0 nodes
   in
   let m =
     { spec; engine; nodes; metrics; measuring = false; completed_total = 0;

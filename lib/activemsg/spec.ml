@@ -41,7 +41,7 @@ let validate t =
     | None -> false
     | Some topo -> topo.Topology.rows * topo.Topology.cols <> t.nodes)
   then err "topology size does not match the node count"
-  else if t.fault <> None && t.topology <> None then
+  else if Option.is_some t.fault && Option.is_some t.topology then
     err "faults require the contention-free interconnect (topology = None)"
   else if Array.length t.threads <> t.nodes then
     err "threads array has %d entries for %d nodes" (Array.length t.threads) t.nodes
@@ -74,7 +74,7 @@ let validate t =
            | None -> None
            | Some th ->
              if th.window < 1 then Some "thread window must be at least 1"
-             else if th.window > 1 && t.barrier <> None then
+             else if th.window > 1 && Option.is_some t.barrier then
                Some "barriers require blocking threads (window = 1)"
              else (
                match Distribution.validate th.work with

@@ -1,0 +1,67 @@
+(** Project-wide call graph over typed trees.
+
+    Nodes are top-level value bindings (including bindings in nested
+    modules), keyed by a normalised dotted name such as
+    ["Amva.solve_status"]. Normalisation erases wrapper modules
+    ([Lopc_mva.Station.f]), mangled unit names ([Lopc_mva__Station.f]) and
+    local module aliases ([module S = Lopc_mva.Station]), so the same global
+    always resolves to the same key however it was spelled. Each node
+    records its global references (with the instantiated type at the use
+    site and the exception handlers enclosing it) and its raise sites; the
+    typed rules are graph walks over this structure. *)
+
+module SMap : Map.S with type key = string
+module SSet : Set.S with type elt = string
+
+type ref_site = {
+  target : string;  (** normalised dotted key of the referenced value *)
+  ref_loc : Location.t;
+  typ : Types.type_expr;  (** instantiated type at the reference *)
+  caught : string list;
+      (** exception constructor names handled around the site; ["*"] = all *)
+}
+
+type raise_site = {
+  exn : string;  (** constructor base name; ["*"] when raising a computed exn *)
+  written : string;  (** as written in the source, for messages *)
+  raise_loc : Location.t;
+  raise_caught : string list;
+}
+
+type def = {
+  key : string;
+  def_name : string;
+  source : string;
+  unit_base : string;
+  def_loc : Location.t;
+  refs : ref_site list;  (** in source order *)
+  raises : raise_site list;
+  body : Typedtree.expression option;
+}
+
+type t = {
+  defs : def list;  (** deterministic unit-then-source order *)
+  by_key : def SMap.t;
+  types_by_key : Types.type_declaration SMap.t;
+  wrappers : SSet.t;
+}
+
+val flatten_path : Path.t -> string list
+
+(** Normalise the segments of a reference path: strip [Stdlib], demangle
+    [A__B] heads, drop wrapper-module heads, apply local module aliases. *)
+val normalize :
+  wrappers:SSet.t -> aliases:string list SMap.t -> string list -> string list
+
+val key_of : string list -> string
+
+val build : Cmt_loader.unit_info list -> t
+
+val find : t -> string -> def option
+
+(** Resolve a type path seen at a use site to its project declaration.
+    [owner] is the dotted module context of the site, so bare type names
+    resolve within their own module first. Returns the resolved key so
+    recursive expansion can update its owner. *)
+val find_type :
+  t -> owner:string -> string list -> (string * Types.type_declaration) option

@@ -1,0 +1,94 @@
+type unit_info = {
+  modname : string;  (* compilation unit name, e.g. "Lopc_markov__Ctmc" *)
+  base : string;  (* user-facing module name, e.g. "Ctmc" *)
+  source : string;  (* source path as recorded at compile time *)
+  structure : Typedtree.structure;
+}
+
+(* "Lopc_markov__Ctmc" -> "Ctmc"; dune mangles wrapped-library and
+   executable units as <prefix>__<Module>. *)
+let base_of_modname m =
+  let n = String.length m in
+  let rec scan i =
+    if i < 0 then None
+    else if i + 1 < n && m.[i] = '_' && m.[i + 1] = '_' then Some (i + 2)
+    else scan (i - 1)
+  in
+  match scan (n - 2) with Some j -> String.sub m j (n - j) | None -> m
+
+(* "Lopc_markov__Ctmc" -> Some "Lopc_markov": the generated wrapper module
+   whose fields alias the real units. References through the wrapper
+   ("Lopc_markov.Ctmc.solve") are normalised by dropping it. *)
+let wrapper_of_modname m =
+  let n = String.length m in
+  let rec scan i =
+    if i < 0 then None
+    else if i + 1 < n && m.[i] = '_' && m.[i + 1] = '_' then Some i
+    else scan (i - 1)
+  in
+  match scan (n - 2) with Some j when j > 0 -> Some (String.sub m 0 j) | _ -> None
+
+let of_implementation ~modname ~source structure =
+  { modname; base = base_of_modname modname; source; structure }
+
+let read_cmt path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Implementation structure; cmt_modname; cmt_sourcefile; _ } ->
+    Some
+      (of_implementation ~modname:cmt_modname
+         ~source:(Option.value cmt_sourcefile ~default:path)
+         structure)
+  | _ -> None
+  | exception _ -> None
+
+(* Depth-first listing of every .cmt under [roots] (dot-directories such as
+   dune's .objs included), sorted for stable unit ordering. *)
+let cmt_files roots =
+  let acc = ref [] in
+  let rec visit path =
+    match Sys.is_directory path with
+    | true ->
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun entry -> visit (Filename.concat path entry))
+    | false -> if Filename.check_suffix path ".cmt" then acc := path :: !acc
+    | exception Sys_error _ -> ()
+  in
+  List.iter visit (List.filter Sys.file_exists roots);
+  List.rev !acc
+
+(* Load every distinct compilation unit under [roots]. Units are
+   deduplicated by module name (dune emits one wrapper unit per executable
+   directory, all called Dune__exe); the first occurrence in sorted scan
+   order wins, so repeated runs see the same set. *)
+let load roots =
+  let seen = Hashtbl.create 64 in
+  cmt_files roots
+  |> List.filter_map (fun path ->
+         match read_cmt path with
+         | Some u when not (Hashtbl.mem seen u.modname) ->
+           Hashtbl.add seen u.modname ();
+           Some u
+         | _ -> None)
+
+let typecheck_initialised = ref false
+
+(* Typecheck a source string against the standard library alone — the
+   harness behind the typed-rule test fixtures, which must not depend on a
+   pre-existing _build tree. *)
+let typecheck_string ~modname ~source contents =
+  if not !typecheck_initialised then begin
+    typecheck_initialised := true;
+    Compmisc.init_path ();
+    (* Fixtures are deliberately odd code; compiler warnings about them are
+       noise for whoever runs the test binary. *)
+    ignore (Warnings.parse_options false "-a")
+  end;
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf source;
+  match Parse.implementation lexbuf with
+  | exception exn -> Error ("parse error: " ^ Printexc.to_string exn)
+  | parsetree -> (
+    match Typemod.type_structure env parsetree with
+    | structure, _, _, _, _ -> Ok (of_implementation ~modname ~source structure)
+    | exception exn -> Error ("type error: " ^ Printexc.to_string exn))

@@ -1,0 +1,42 @@
+(** Loading typed trees for stage 2 of the linter.
+
+    The typed analyses run over the compiler's [.cmt] files, which dune
+    writes next to the object files (under [.*.objs/byte/]) whenever it
+    compiles a library or executable. Each loaded unit carries its typed
+    {!Typedtree.structure} plus the source path recorded at compile time, so
+    findings point back into the original files. *)
+
+type unit_info = {
+  modname : string;  (** compilation unit name, e.g. ["Lopc_markov__Ctmc"] *)
+  base : string;  (** user-facing module name, e.g. ["Ctmc"] *)
+  source : string;  (** source path as recorded at compile time *)
+  structure : Typedtree.structure;
+}
+
+(** ["Lopc_markov__Ctmc"] → ["Ctmc"]; identity when there is no [__]. *)
+val base_of_modname : string -> string
+
+(** ["Lopc_markov__Ctmc"] → [Some "Lopc_markov"], the dune-generated wrapper
+    module; [None] for unmangled unit names. *)
+val wrapper_of_modname : string -> string option
+
+val of_implementation :
+  modname:string -> source:string -> Typedtree.structure -> unit_info
+
+(** Read one [.cmt]; [None] for interfaces, partial implementations, or
+    unreadable/mismatched files. *)
+val read_cmt : string -> unit_info option
+
+(** Every [.cmt] file under the given roots (dot-directories included),
+    sorted. *)
+val cmt_files : string list -> string list
+
+(** Load all distinct units under the given roots, deduplicated by module
+    name, first occurrence in sorted scan order winning. *)
+val load : string list -> unit_info list
+
+(** Typecheck a source string against the standard library and wrap the
+    resulting typed tree as a unit — the harness used by the typed-rule test
+    fixtures. [Error] carries a parse- or type-error description. *)
+val typecheck_string :
+  modname:string -> source:string -> string -> (unit_info, string) result

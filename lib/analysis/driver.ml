@@ -5,6 +5,29 @@ let parse_error_rule =
     ~hint:"fix the syntax error; unparseable files cannot be analysed"
     ~check:(fun ~path:_ _ -> [])
 
+(* Not a [check] rule: bare-suppression findings are synthesised by
+   [lint_source] from the suppression regions themselves, because the
+   evidence is the attribute, not the code it governs. *)
+let bare_suppression_rule =
+  Rule.v ~id:"bare-suppression" ~severity:Finding.Warning
+    ~summary:"[@lint.allow] without a justification string"
+    ~hint:
+      "say why the finding is safe to ignore: [@lint.allow \"rule-id\" \"reason it is \
+       safe here\"]; unjustified suppressions rot into unauditable exemptions"
+    ~check:(fun ~path:_ _ -> [])
+
+let bare_suppression_findings regions =
+  List.filter_map
+    (fun (r : Suppress.region) ->
+      match r.justification with
+      | Some _ -> None
+      | None ->
+        Some
+          (Rule.finding bare_suppression_rule ~loc:r.attr_loc
+             (Format.asprintf "suppression of %s carries no justification"
+                (String.concat ", " r.rules))))
+    regions
+
 let whole_file_loc path =
   let pos = { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 } in
   { Location.loc_start = pos; loc_end = pos; loc_ghost = false }
@@ -37,10 +60,21 @@ let lint_source ?(rules = default_rules) ~path contents =
   | Signature _ -> []
   | Structure structure ->
     let regions = Suppress.collect structure in
-    rules
-    |> List.concat_map (fun (r : Rule.t) -> r.check ~path structure)
-    |> List.filter (fun f -> not (Suppress.suppressed regions f))
-    |> List.sort Finding.compare
+    (* Only a justified suppression may silence a bare-suppression finding,
+       otherwise [@lint.allow "bare-suppression"] would excuse itself. *)
+    let justified =
+      List.filter (fun (r : Suppress.region) -> r.justification <> None) regions
+    in
+    let rule_findings =
+      rules
+      |> List.concat_map (fun (r : Rule.t) -> r.check ~path structure)
+      |> List.filter (fun f -> not (Suppress.suppressed regions f))
+    in
+    let bare =
+      bare_suppression_findings regions
+      |> List.filter (fun f -> not (Suppress.suppressed justified f))
+    in
+    List.sort Finding.compare (rule_findings @ bare)
 
 let read_file path =
   let ic = open_in_bin path in

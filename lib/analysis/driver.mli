@@ -6,6 +6,11 @@
     [?rules] to the functions below). *)
 val default_rules : Rule.t list
 
+(** The synthetic rule reported for [@lint.allow] attributes that carry no
+    justification string. Not part of {!default_rules} — its findings come
+    from the suppression regions themselves, not from a [check]. *)
+val bare_suppression_rule : Rule.t
+
 (** Lint one compilation unit given as a string. [path] determines both the
     reported file name and path-sensitive rules (lib/ vs executable code,
     lib/prng exemption, sibling-.mli lookup). [.mli] paths are only checked

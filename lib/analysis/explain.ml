@@ -1,0 +1,217 @@
+(* The rule reference: one entry per rule id, carrying the rationale and a
+   minimal violating example. `lopc-lint --explain <id>` prints these, and
+   the README's rule table is written from the same text, so the tool and
+   the docs cannot drift apart silently. *)
+
+type entry = {
+  id : string;
+  severity : Finding.severity;
+  stage : string;  (* "syntactic" or "typed" *)
+  summary : string;
+  rationale : string;
+  example : string;  (* minimal violating program *)
+  fix : string;
+}
+
+let entries =
+  [
+    {
+      id = "float-equality";
+      severity = Finding.Warning;
+      stage = "syntactic";
+      summary =
+        "structural =/<>/compare applied to float literals or float-returning calls";
+      rationale =
+        "Queueing quantities (utilizations, residence times, rates) are floats \
+         accumulated over many iterations; exact structural equality on them is \
+         almost always a rounding-sensitive bug that makes convergence checks \
+         platform-dependent.";
+      example = "let converged r = r = 0.0";
+      fix =
+        "Compare with a tolerance (Float.abs (a -. b) < eps), classify \
+         (Float.classify_float x = FP_zero), or use Float.equal when exact \
+         equality really is intended.";
+    };
+    {
+      id = "unguarded-division";
+      severity = Finding.Warning;
+      stage = "syntactic";
+      summary =
+        "/. by a `1. -. u`-shaped denominator with no dominating guard in the same \
+         function";
+      rationale =
+        "The LoPC and MVA response-time formulas divide by (1 - utilization); at \
+         saturation the denominator crosses zero and the result silently becomes \
+         inf or nan, which then propagates through every downstream metric.";
+      example = "let wait u s = s /. (1. -. u)";
+      fix =
+        "Guard before dividing (if u >= limit then ... else ...), clamp the \
+         denominator (Float.max eps (1. -. u)), or suppress when a caller \
+         provably enforces the bound.";
+    };
+    {
+      id = "global-rng";
+      severity = Finding.Error;
+      stage = "syntactic";
+      summary = "use of the global Stdlib.Random outside lib/prng";
+      rationale =
+        "The global Random stream is ambient mutable state: any call reorders \
+         every later draw, so simulations stop being replayable the moment two \
+         call sites share it. All randomness must flow through an explicit \
+         Lopc_prng.Rng.t value.";
+      example = "let jitter () = Random.float 1.0";
+      fix =
+        "Thread an explicit Lopc_prng.Rng.t into the function and draw from it; \
+         only lib/prng may touch the raw generator.";
+    };
+    {
+      id = "physical-equality";
+      severity = Finding.Warning;
+      stage = "syntactic";
+      summary = "==/!= on non-unit values";
+      rationale =
+        "Physical equality on immutable data is representation-dependent — it \
+         can differ between runs, compilers and flambda settings — so any \
+         behaviour that branches on it is nondeterministic by construction.";
+      example = "let same a b = a == b";
+      fix = "Use structural (=) or a monomorphic equal function for the type.";
+    };
+    {
+      id = "banned-constructs";
+      severity = Finding.Error;
+      stage = "syntactic";
+      summary = "Obj.magic anywhere; exit or Printf.printf inside lib/";
+      rationale =
+        "Obj.magic defeats the type system that the rest of this linter leans \
+         on; exit and printing from library code hijack the process and stdout \
+         that belong to the driver, making solvers unusable as libraries.";
+      example = "let cast x = Obj.magic x";
+      fix =
+        "Delete the Obj.magic (restructure the types); return values or use a \
+         result type instead of exit/printf in library code.";
+    };
+    {
+      id = "bare-failwith";
+      severity = Finding.Warning;
+      stage = "syntactic";
+      summary = "failwith or raise (Failure _) inside lib/";
+      rationale =
+        "Failure carries only a string, so callers cannot match on the error \
+         case; library errors must be typed (a dedicated exception or a result) \
+         to be handleable.";
+      example = "let check n = if n < 0 then failwith \"bad\"";
+      fix =
+        "Declare a dedicated exception or return a result; use invalid_arg only \
+         for documented precondition violations.";
+    };
+    {
+      id = "missing-mli";
+      severity = Finding.Warning;
+      stage = "syntactic";
+      summary = "a library .ml with no sibling .mli";
+      rationale =
+        "Unconstrained library modules leak internals, so every refactoring is a \
+         breaking change and nothing documents the intended surface.";
+      example = "(* lib/foo/bar.ml exists, lib/foo/bar.mli does not *)";
+      fix = "Write the interface file, exporting only the intended surface.";
+    };
+    {
+      id = "parse-error";
+      severity = Finding.Error;
+      stage = "syntactic";
+      summary = "file does not parse";
+      rationale =
+        "A file the linter cannot parse is a file none of the rules have \
+         checked; treating it as clean would hide every other finding in it.";
+      example = "let broken = (";
+      fix = "Fix the syntax error; the compiler's message points at it.";
+    };
+    {
+      id = "bare-suppression";
+      severity = Finding.Warning;
+      stage = "syntactic";
+      summary = "[@lint.allow] without a justification string";
+      rationale =
+        "A suppression without a recorded reason rots into an unauditable \
+         exemption: nobody can later tell whether the waived finding is still \
+         safe, so the waiver outlives its argument.";
+      example = "let x = (a = b) [@lint.allow \"float-equality\"]";
+      fix =
+        "Say why the finding is safe: [@lint.allow \"rule-id\" \"reason it is \
+         safe here\"].";
+    };
+    {
+      id = "determinism-taint";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "a nondeterminism source reachable from the simulator or a solver entry \
+         point";
+      rationale =
+        "The contention model is validated by comparing solver output against \
+         simulation bit-for-bit across runs; any path from a simulator or solver \
+         entry point to the global RNG, a wall clock, Hashtbl iteration order, or \
+         polymorphic compare at a float-bearing or abstract type makes that \
+         comparison flaky in ways unit tests rarely catch. The finding prints the \
+         call chain from the entry point to the source.";
+      example =
+        "let cost () = Sys.time ()\n\
+         let solve_status model = if cost () > 0. then `Converged else `Diverged";
+      fix =
+        "Thread an explicit Lopc_prng.Rng.t, iterate in a deterministic order, \
+         or use a monomorphic comparator (Float.compare, Int.equal, a \
+         hand-written total order).";
+    };
+    {
+      id = "exn-escape";
+      severity = Finding.Error;
+      stage = "typed";
+      summary = "an exception can escape a solve_status (non-raising) entry point";
+      rationale =
+        "solve_status promises callers a status value instead of an exception — \
+         that is the whole point of the _status variants. The analysis computes, \
+         by fixpoint over the call graph, every exception constructor that can \
+         escape each solve_status transitively, subtracting what enclosing \
+         handlers catch; only Invalid_argument (the documented precondition \
+         contract) is permitted. The finding shows a witness call chain down to \
+         the raise site.";
+      example =
+        "let step x = if x > 10. then raise Exit else x +. 1.\n\
+         let solve_status x = `Converged (step x)";
+      fix =
+        "Catch the exception and map it onto the status result, validate \
+         earlier with invalid_arg, or suppress if the raise is provably \
+         unreachable.";
+    };
+    {
+      id = "rng-stream-discipline";
+      severity = Finding.Error;
+      stage = "typed";
+      summary = "a stream produced by Rng.split is consumed more than once on some path";
+      rationale =
+        "Rng.split exists so each consumer owns an independent stream; if one \
+         child stream feeds two consumers, their draw sequences couple, and a \
+         change in one consumer's draw count silently shifts the other's values \
+         — replay breaks with no error anywhere. The rule treats each split \
+         result as a linear resource: at most one use along any execution path \
+         (branch arms are alternatives; loop and lambda bodies count double).";
+      example =
+        "let pair rng =\n\
+        \  let s = Rng.split rng in\n\
+        \  (Rng.float s 1.0, Rng.float s 1.0)";
+      fix =
+        "Split once per consumer: let s1 = Rng.split rng in let s2 = Rng.split \
+         rng in ... — never alias or re-draw from the same child.";
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) entries
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s (%s, %s stage)@.  %s@.@.%s@.@.Example (violates the rule):@."
+    e.id
+    (Finding.severity_to_string e.severity)
+    e.stage e.summary e.rationale;
+  String.split_on_char '\n' e.example
+  |> List.iter (fun line -> Format.fprintf ppf "    %s@." line);
+  Format.fprintf ppf "@.Fix: %s@." e.fix

@@ -1,0 +1,22 @@
+(** The rule reference behind [lopc-lint --explain].
+
+    One entry per rule id — syntactic and typed — with the rationale and a
+    minimal violating example. The README's rule documentation is written
+    from the same text, so tool output and docs share a single source. *)
+
+type entry = {
+  id : string;
+  severity : Finding.severity;
+  stage : string;  (** ["syntactic"] or ["typed"] *)
+  summary : string;
+  rationale : string;
+  example : string;  (** minimal violating program *)
+  fix : string;
+}
+
+(** Every rule, stage-1 ids first, then the typed ids. *)
+val entries : entry list
+
+val find : string -> entry option
+
+val pp_entry : Format.formatter -> entry -> unit

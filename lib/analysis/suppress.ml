@@ -1,5 +1,7 @@
 type region = {
   rules : string list;  (* rule ids named by the attribute payload *)
+  justification : string option;  (* second string payload, if any *)
+  attr_loc : Location.t;  (* where the attribute itself sits *)
   start_cnum : int;
   end_cnum : int;
   whole_file : bool;
@@ -7,34 +9,37 @@ type region = {
 
 let attribute_name = "lint.allow"
 
-(* Payload of [@lint.allow "rule-a rule-b"] or [@lint.allow "rule-a, rule-b"]:
-   a single string constant naming one or more rule ids. *)
+(* Payload of [@lint.allow "rule-a rule-b" "why this is safe"]: one string
+   constant naming one or more rule ids, optionally applied to a second
+   string constant carrying the justification. The bare one-string form is
+   still parsed (it suppresses) but [justification] is [None], which the
+   driver reports as a [bare-suppression] finding. *)
 let rules_of_payload (payload : Parsetree.payload) =
-  match payload with
-  | PStr
-      [
-        {
-          pstr_desc =
-            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-          _;
-        };
-      ] ->
+  let split s =
     String.split_on_char ' ' s
     |> List.concat_map (String.split_on_char ',')
     |> List.filter_map (fun id ->
            let id = String.trim id in
            if id = "" then None else Some id)
-  | _ -> []
+  in
+  match payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> (split s, None)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+          [ (Nolabel, { pexp_desc = Pexp_constant (Pconst_string (why, _, _)); _ }) ] )
+      ->
+      let why = String.trim why in
+      (split s, if why = "" then None else Some why)
+    | _ -> ([], None))
+  | _ -> ([], None)
 
-let rules_of_attributes (attrs : Parsetree.attributes) =
-  List.concat_map
-    (fun (a : Parsetree.attribute) ->
-      if a.attr_name.txt = attribute_name then rules_of_payload a.attr_payload else [])
-    attrs
-
-let region_of ~whole_file (loc : Location.t) rules =
+let region_of ~whole_file ~attr_loc (loc : Location.t) (rules, justification) =
   {
     rules;
+    justification;
+    attr_loc;
     start_cnum = loc.loc_start.pos_cnum;
     end_cnum = loc.loc_end.pos_cnum;
     whole_file;
@@ -45,10 +50,15 @@ let region_of ~whole_file (loc : Location.t) rules =
    item, or the whole file for floating [@@@lint.allow]. *)
 let collect (structure : Parsetree.structure) =
   let regions = ref [] in
-  let add ~whole_file loc attrs =
-    match rules_of_attributes attrs with
-    | [] -> ()
-    | rules -> regions := region_of ~whole_file loc rules :: !regions
+  let add ~whole_file loc (attrs : Parsetree.attributes) =
+    List.iter
+      (fun (a : Parsetree.attribute) ->
+        if a.attr_name.txt = attribute_name then
+          match rules_of_payload a.attr_payload with
+          | [], _ -> ()
+          | payload ->
+            regions := region_of ~whole_file ~attr_loc:a.attr_loc loc payload :: !regions)
+      attrs
   in
   let expr sub (e : Parsetree.expression) =
     add ~whole_file:false e.pexp_loc e.pexp_attributes;
@@ -61,10 +71,13 @@ let collect (structure : Parsetree.structure) =
   let structure_item sub (item : Parsetree.structure_item) =
     (match item.pstr_desc with
     | Pstr_attribute a ->
-      if a.attr_name.txt = attribute_name then
-        (match rules_of_payload a.attr_payload with
-        | [] -> ()
-        | rules -> regions := region_of ~whole_file:true item.pstr_loc rules :: !regions)
+      if a.attr_name.txt = attribute_name then (
+        match rules_of_payload a.attr_payload with
+        | [], _ -> ()
+        | payload ->
+          regions :=
+            region_of ~whole_file:true ~attr_loc:a.attr_loc item.pstr_loc payload
+            :: !regions)
     | _ -> ());
     Ast_iterator.default_iterator.structure_item sub item
   in
@@ -84,3 +97,22 @@ let suppressed regions (f : Finding.t) =
       List.mem f.Finding.rule r.rules
       && (r.whole_file || (start_cnum <= r.end_cnum && end_cnum >= r.start_cnum)))
     regions
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Suppression regions of a file on disk; unreadable or unparseable files
+   have none. Used by the typed pass, whose findings point into source files
+   it did not itself parse. *)
+let regions_of_file path =
+  match read_file path with
+  | exception Sys_error _ -> []
+  | contents -> (
+    let lexbuf = Lexing.from_string contents in
+    Location.init lexbuf path;
+    match Parse.implementation lexbuf with
+    | structure -> collect structure
+    | exception _ -> [])

@@ -1,13 +1,19 @@
 (** Explicit, auditable suppression of lint findings.
 
     A finding is suppressed when it falls inside the span of a
-    [[@lint.allow "rule-id"]] attribute naming its rule: on an expression,
-    on a [let] binding ([@@lint.allow]), or floating at the top of a file
-    ([@@@lint.allow], which covers the whole compilation unit). The payload
-    may name several rules separated by spaces or commas. *)
+    [[@lint.allow "rule-id" "justification"]] attribute naming its rule: on
+    an expression, on a [let] binding ([@@lint.allow]), or floating at the
+    top of a file ([@@@lint.allow], which covers the whole compilation
+    unit). The first payload string may name several rules separated by
+    spaces or commas; the second is a free-form justification. The bare
+    one-string form still suppresses but is itself reported by the driver as
+    a [bare-suppression] finding. *)
 
 type region = {
   rules : string list;
+  justification : string option;
+      (** [None] for the legacy bare form [[@lint.allow "id"]]. *)
+  attr_loc : Location.t;  (** location of the attribute itself *)
   start_cnum : int;
   end_cnum : int;
   whole_file : bool;
@@ -23,3 +29,8 @@ val collect : Parsetree.structure -> region list
     may attach a trailing attribute to the last operand of an infix
     expression instead of the whole expression). *)
 val suppressed : region list -> Finding.t -> bool
+
+(** Suppression regions of a source file on disk; unreadable or unparseable
+    files have none. Used by the typed pass, whose findings point into
+    sources recorded in [.cmt] files. *)
+val regions_of_file : string -> region list

@@ -1,0 +1,117 @@
+(* Determinism taint: no function reachable from the simulator (anything
+   under an entry directory) or from a solver entry point (any function
+   named solve/solve_status, plus explicit --entry keys) may reach a
+   nondeterminism source. Sources are wall clocks, the global Stdlib.Random
+   stream, Hashtbl iteration (unspecified hash order), and polymorphic
+   compare/equality/hash instantiated at a float-bearing, abstract or
+   polymorphic type. Each finding carries the reachability chain from the
+   entry that first discovered the tainted definition. *)
+
+module SMap = Callgraph.SMap
+module SSet = Callgraph.SSet
+
+let rule_id = "determinism-taint"
+
+let severity = Finding.Error
+
+let summary =
+  "a nondeterminism source reachable from the simulator or a solver entry point"
+
+let hint =
+  "thread an explicit Lopc_prng.Rng.t, iterate in a deterministic order, or compare \
+   with a monomorphic comparator (Float.compare, Int.equal, a hand-written total \
+   order); if the site is provably harmless, suppress with [@lint.allow \
+   \"determinism-taint\" \"why\"]"
+
+type config = {
+  entries : string list;  (* extra entry keys or key prefixes, from --entry *)
+  entry_dirs : string list;
+  entry_names : string list;
+}
+
+let default_config =
+  {
+    entries = [];
+    entry_dirs = [ "lib/activemsg"; "lib/eventsim" ];
+    entry_names = [ "solve"; "solve_status" ];
+  }
+
+let dir_prefix dir path =
+  let n = String.length dir in
+  String.length path > n && String.sub path 0 n = dir && path.[n] = '/'
+
+let is_entry config (d : Callgraph.def) =
+  List.exists (fun dir -> dir_prefix dir d.Callgraph.source) config.entry_dirs
+  || List.mem d.Callgraph.def_name config.entry_names
+  || List.exists
+       (fun e ->
+         d.Callgraph.key = e
+         || (String.length d.Callgraph.key > String.length e
+            && String.sub d.Callgraph.key 0 (String.length e + 1) = e ^ "."))
+       config.entries
+
+let path_head target =
+  match String.index_opt target '.' with
+  | Some i -> String.sub target 0 i
+  | None -> target
+
+let wall_clocks = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+
+let hash_iterators = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+let poly_comparators = [ "compare"; "="; "<>"; "Hashtbl.hash"; "Hashtbl.seeded_hash" ]
+
+(* Is this reference itself a nondeterminism source? *)
+let source_of graph (d : Callgraph.def) (r : Callgraph.ref_site) =
+  if path_head r.target = "Random" then
+    Some (Printf.sprintf "the global RNG %s (replay cannot reseed it)" r.target)
+  else if List.mem r.target wall_clocks then
+    Some (Printf.sprintf "the wall clock %s" r.target)
+  else if List.mem r.target hash_iterators then
+    Some (Printf.sprintf "%s (iteration order follows the hash, not the program)" r.target)
+  else if List.mem r.target poly_comparators then
+    match Type_safety.comparison_domain r.typ with
+    | None -> None
+    | Some domain -> (
+      match Type_safety.unsafe_reason graph ~owner:d.unit_base domain with
+      | Some reason ->
+        Some (Printf.sprintf "polymorphic %s applied at %s" r.target reason)
+      | None -> None)
+  else None
+
+let check ?(config = default_config) (graph : Callgraph.t) =
+  let findings = ref [] in
+  let visited = ref SSet.empty in
+  let queue = Queue.create () in
+  let entries =
+    List.filter (is_entry config) graph.defs
+    |> List.map (fun (d : Callgraph.def) -> d.key)
+    |> List.sort_uniq String.compare
+  in
+  List.iter (fun k -> Queue.push (k, [ k ]) queue) entries;
+  List.iter (fun k -> visited := SSet.add k !visited) entries;
+  while not (Queue.is_empty queue) do
+    let key, chain = Queue.pop queue in
+    match Callgraph.find graph key with
+    | None -> ()
+    | Some d ->
+      List.iter
+        (fun (r : Callgraph.ref_site) ->
+          (match source_of graph d r with
+          | Some desc ->
+            let message =
+              Printf.sprintf "%s; reachable as %s" desc
+                (String.concat " -> " (List.rev chain))
+            in
+            findings :=
+              Finding.v ~rule:rule_id ~severity ~loc:r.ref_loc ~message ~hint
+              :: !findings
+          | None -> ());
+          if SMap.mem r.target graph.by_key && not (SSet.mem r.target !visited)
+          then begin
+            visited := SSet.add r.target !visited;
+            Queue.push (r.target, r.target :: chain) queue
+          end)
+        d.refs
+  done;
+  List.rev !findings

@@ -1,0 +1,27 @@
+(** Determinism taint (typed, interprocedural).
+
+    No definition reachable from the simulator (entry directories
+    [lib/activemsg], [lib/eventsim]) or from a solver entry point (any
+    function named [solve] or [solve_status], plus explicit extra entries)
+    may reference a nondeterminism source: the global [Stdlib.Random]
+    stream, wall clocks ([Sys.time], [Unix.gettimeofday], [Unix.time]),
+    [Hashtbl] iteration, or polymorphic compare/equality/hash instantiated
+    at a float-bearing, abstract or polymorphic type. Findings carry the
+    reachability chain from the entry that first discovered the tainted
+    definition. *)
+
+val rule_id : string
+
+val severity : Finding.severity
+
+val summary : string
+
+type config = {
+  entries : string list;  (** extra entry keys or key prefixes (from [--entry]) *)
+  entry_dirs : string list;
+  entry_names : string list;
+}
+
+val default_config : config
+
+val check : ?config:config -> Callgraph.t -> Finding.t list

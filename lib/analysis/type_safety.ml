@@ -1,0 +1,114 @@
+(* Decides whether a type is safe under polymorphic structural
+   compare/equality/hash, by expanding it through the project's own type
+   declarations (collected from the loaded .cmt units).
+
+   Unsafe means the comparison can be order-fragile or replay-hostile:
+   floats (NaN and signed-zero semantics), type variables (the concrete
+   instantiation is unknown at the site), functions (Invalid_argument at
+   runtime), and abstract or foreign types whose representation we cannot
+   expand (their structural order is an implementation detail — e.g. the
+   internal tree shape of a Map, or a record with float fields hidden
+   behind an interface). *)
+
+let safe_atoms =
+  [
+    "int"; "bool"; "char"; "string"; "bytes"; "unit"; "int32"; "int64"; "nativeint";
+    (* stdlib constant-constructor enums: compared by tag, no payload *)
+    "fpclass"; "Float.fpclass";
+  ]
+
+(* Containers whose structural comparison is exactly the comparison of
+   their elements, so safety reduces to the arguments. *)
+let safe_containers = [ "list"; "array"; "option"; "ref"; "result" ]
+
+let float_names = [ "float"; "Float.t" ]
+
+(* The normalised head of a type path, for builtin classification. *)
+let type_name segments = String.concat "." segments
+
+let rec first_some f = function
+  | [] -> None
+  | x :: rest -> ( match f x with Some r -> Some r | None -> first_some f rest)
+
+(* [params] holds the ids of type variables bound by the declaration being
+   expanded (formal parameters are checked at the *use* site through the
+   instantiating arguments, so they count as safe here). [visited] breaks
+   recursive type cycles: on re-entry the type is assumed safe, because any
+   genuinely unsafe component is found on the first pass. *)
+let unsafe_reason (graph : Callgraph.t) ~owner ty =
+  let rec check visited params ~owner ty =
+    match Types.get_desc ty with
+    | Tvar _ | Tunivar _ ->
+      if List.exists (fun id -> id = Types.get_id ty) params then None
+      else Some "a type variable (the instantiation is not visible here)"
+    | Tarrow _ -> Some "a function type (structural comparison raises)"
+    | Ttuple tys -> first_some (check visited params ~owner) tys
+    | Tpoly (t, vars) ->
+      check visited (List.map Types.get_id vars @ params) ~owner t
+    | Tconstr (path, args, _) -> (
+      let segments = Callgraph.flatten_path path in
+      let name =
+        type_name
+          (Callgraph.normalize ~wrappers:graph.Callgraph.wrappers
+             ~aliases:Callgraph.SMap.empty segments)
+      in
+      if List.mem name float_names then Some "float (NaN/rounding-fragile order)"
+      else if List.mem name safe_atoms then None
+      else if List.mem name safe_containers then
+        first_some (check visited params ~owner) args
+      else if List.mem name visited then None
+      else
+        match first_some (check visited params ~owner) args with
+        | Some r -> Some r
+        | None -> (
+          match Callgraph.find_type graph ~owner segments with
+          | None -> Some (Printf.sprintf "abstract or foreign type %s" name)
+          | Some (key, decl) ->
+            let owner' =
+              match String.rindex_opt key '.' with
+              | Some i -> String.sub key 0 i
+              | None -> owner
+            in
+            check_decl (name :: visited) params ~owner:owner' decl))
+    | Tvariant row ->
+      (* Compared by tag, then by argument — so safety is the arguments'. *)
+      first_some
+        (fun (_, field) ->
+          match Types.row_field_repr field with
+          | Types.Rpresent (Some t) -> check visited params ~owner t
+          | Types.Reither (_, tys, _) -> first_some (check visited params ~owner) tys
+          | _ -> None)
+        (Types.row_fields row)
+    | Tobject _ | Tfield _ | Tnil -> Some "an object type"
+    | Tpackage _ -> Some "a first-class module"
+    | Tlink _ | Tsubst _ -> None (* unreachable through get_desc *)
+  and check_decl visited params ~owner (decl : Types.type_declaration) =
+    let params = List.map Types.get_id decl.type_params @ params in
+    match decl.type_manifest with
+    | Some manifest -> check visited params ~owner manifest
+    | None -> (
+      match decl.type_kind with
+      | Type_record (labels, _) ->
+        first_some
+          (fun (l : Types.label_declaration) -> check visited params ~owner l.ld_type)
+          labels
+      | Type_variant (constructors, _) ->
+        first_some
+          (fun (c : Types.constructor_declaration) ->
+            match c.cd_args with
+            | Cstr_tuple tys -> first_some (check visited params ~owner) tys
+            | Cstr_record labels ->
+              first_some
+                (fun (l : Types.label_declaration) ->
+                  check visited params ~owner l.ld_type)
+                labels)
+          constructors
+      | Type_open -> Some "an open (extensible) type"
+      | Type_abstract -> Some "an abstract type")
+  in
+  check [] [] ~owner ty
+
+(* The domain of a comparison operator's instantiated type: the first
+   argument of the arrow. *)
+let comparison_domain ty =
+  match Types.get_desc ty with Types.Tarrow (_, arg, _, _) -> Some arg | _ -> None

@@ -1,0 +1,19 @@
+(** Safety of a type under polymorphic structural compare/equality/hash.
+
+    A type is unsafe when structural comparison of its values is
+    order-fragile or replay-hostile: it contains [float] (NaN / signed-zero
+    semantics), a type variable (the instantiation is not visible at the
+    site), a function (comparison raises), or an abstract/foreign type whose
+    representation cannot be expanded through the project's own type
+    declarations. Project types are expanded transitively (records,
+    variants, abbreviations) through the call graph's type table. *)
+
+(** [unsafe_reason graph ~owner ty] is [Some reason] when [ty] is unsafe,
+    [None] when it is provably structural-comparison-safe. [owner] is the
+    dotted module context of the use site, used to resolve bare type
+    names. *)
+val unsafe_reason : Callgraph.t -> owner:string -> Types.type_expr -> string option
+
+(** The domain of a comparison operator's instantiated type (the first
+    argument of the arrow), when it is an arrow. *)
+val comparison_domain : Types.type_expr -> Types.type_expr option

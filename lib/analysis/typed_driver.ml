@@ -1,0 +1,47 @@
+(* Stage 2 of the linter: load typed trees, build the call graph, run the
+   interprocedural rules, and filter suppressions by re-reading the
+   [@lint.allow] attributes of whichever source files the findings point
+   into. Stage 1 (driver.ml) never sees .cmt files; this module never
+   parses untyped sources except to recover suppression regions. *)
+
+let catalogue =
+  [
+    (Taint_rules.rule_id, Taint_rules.severity, Taint_rules.summary);
+    (Exn_rules.rule_id, Exn_rules.severity, Exn_rules.summary);
+    (Stream_rules.rule_id, Stream_rules.severity, Stream_rules.summary);
+  ]
+
+let analyze_units ?(entries = []) units =
+  let graph = Callgraph.build units in
+  let taint_config = { Taint_rules.default_config with entries } in
+  let findings =
+    Taint_rules.check ~config:taint_config graph
+    @ Exn_rules.check graph @ Stream_rules.check graph
+  in
+  (* Suppression regions come from the sources the findings point into;
+     cache per file since many findings share one. *)
+  let regions_cache = Hashtbl.create 8 in
+  let regions_for file =
+    match Hashtbl.find_opt regions_cache file with
+    | Some r -> r
+    | None ->
+      let r = Suppress.regions_of_file file in
+      Hashtbl.add regions_cache file r;
+      r
+  in
+  findings
+  |> List.filter (fun f -> not (Suppress.suppressed (regions_for (Finding.file f)) f))
+  |> List.sort_uniq Finding.compare
+
+let analyze_paths ?entries roots =
+  (* Accept either _build paths or plain source roots: when a root holds no
+     .cmt files directly, look for its compiled image under _build/default
+     so `lopc_lint --typed lib` works from the repository root. *)
+  let effective root =
+    if Cmt_loader.cmt_files [ root ] <> [] then root
+    else
+      let built = Filename.concat (Filename.concat "_build" "default") root in
+      if Sys.file_exists built then built else root
+  in
+  let units = Cmt_loader.load (List.map effective roots) in
+  analyze_units ?entries units

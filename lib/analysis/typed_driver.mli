@@ -1,0 +1,20 @@
+(** Stage 2 of the linter: the typed, interprocedural analyses.
+
+    Loads [.cmt] typed trees ({!Cmt_loader}), builds the project call graph
+    ({!Callgraph}) and runs the three cross-module rules —
+    {!Taint_rules} (determinism), {!Exn_rules} (exception escape) and
+    {!Stream_rules} (RNG stream discipline). Findings are filtered against
+    the [[@lint.allow]] regions of the source files they point into, then
+    sorted and deduplicated. *)
+
+(** (rule id, severity, summary) of every typed rule, for [--list-rules]. *)
+val catalogue : (string * Finding.severity * string) list
+
+(** Analyse already-loaded units. [entries] adds extra taint entry points
+    (keys or key prefixes, as given to [--entry]). *)
+val analyze_units : ?entries:string list -> Cmt_loader.unit_info list -> Finding.t list
+
+(** Load every unit under the given roots and analyse them. A root without
+    [.cmt] files falls back to its compiled image under [_build/default], so
+    plain source roots work from the repository root after a build. *)
+val analyze_paths : ?entries:string list -> string list -> Finding.t list

@@ -48,9 +48,10 @@ let queues ?(extra = 0.) (params : Params.t) s =
   let qq = (s *. gq) +. (extra /. denom) in
   let qy = s *. (1. +. qq +. (beta *. s)) in
   (qq, qy)
-[@@lint.allow "unguarded-division"]
-(* Safe: every solver keeps r above the golden-ratio multiple of So (see the
-   header comment), so 1 - s - s² stays strictly positive. *)
+[@@lint.allow
+  "unguarded-division"
+    "every solver keeps r above the golden-ratio multiple of So (see the header \
+     comment), so 1 - s - s^2 stays strictly positive"]
 
 (* In polling mode a handler arriving while the thread computes waits for
    the residual work quantum: probability Uw = W/R, mean residual
@@ -72,9 +73,11 @@ let analyze ~execution ~work_scv (params : Params.t) ~w r =
   let rw =
     match execution with
     | Interrupt ->
-      (* Safe for the same reason as [queues]: s = So/r < 1 whenever r is in
-         the solvers' bracket, which starts at the contention-free bound. *)
-      ((w +. (params.so *. qq)) /. (1. -. s) [@lint.allow "unguarded-division"])
+      ((w +. (params.so *. qq)) /. (1. -. s)
+      [@lint.allow
+        "unguarded-division"
+          "safe for the same reason as [queues]: s = So/r < 1 whenever r is in the \
+           solvers' bracket, which starts at the contention-free bound"])
     | Polling | Protocol_processor -> w
   in
   (rw, rq, ry, qq, qy, s)
@@ -128,16 +131,21 @@ let quartic ?(execution = Interrupt) ?(work_scv = 1.) (params : Params.t) ~w =
   Polynomial.of_coeffs cleaned
 
 let solve_polynomial ?execution ?work_scv params ~w =
-  let poly = quartic ?execution ?work_scv params ~w in
-  let lb = lower_bound params ~w in
-  let candidates =
-    Polynomial.real_roots poly
-    |> Array.to_list
-    |> List.filter (fun r -> r >= lb *. (1. -. 1e-9))
-  in
-  match candidates with
-  | [] -> solve_brent ?execution ?work_scv params ~w
-  | first :: rest -> List.fold_left Float.min first rest
+  (* A singular Vandermonde system (degenerate interpolation points) means
+     the polynomial route is unusable, not that the model has no solution —
+     fall back to the bracketed solver, like the no-candidate case below. *)
+  match quartic ?execution ?work_scv params ~w with
+  | exception Linear.Singular -> solve_brent ?execution ?work_scv params ~w
+  | poly -> (
+    let lb = lower_bound params ~w in
+    let candidates =
+      Polynomial.real_roots poly
+      |> Array.to_list
+      |> List.filter (fun r -> r >= lb *. (1. -. 1e-9))
+    in
+    match candidates with
+    | [] -> solve_brent ?execution ?work_scv params ~w
+    | first :: rest -> List.fold_left Float.min first rest)
 
 let solution_of_r (params : Params.t) ~w ~work_scv ~execution r =
   let rw, rq, ry, qq, qy, s = analyze ~execution ~work_scv params ~w r in

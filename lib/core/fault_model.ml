@@ -90,8 +90,9 @@ let expected_timeout_wait c =
       acc := !acc +. (c.timeout *. c.backoff j *. (!qj -. qb));
       qj := !qj *. q
     done;
-    (* 1 − q^B > 0 since q < 1 (drop < 1 forces pd > 0). *)
-    (!acc /. (1. -. qb) [@lint.allow "unguarded-division"])
+    (!acc /. (1. -. qb)
+    [@lint.allow
+      "unguarded-division" "1 - q^B > 0 since q < 1 (drop < 1 forces pd > 0)"])
   end
 
 type solution = {
@@ -119,9 +120,10 @@ let queues ~beta sq sy =
   let denom = 1. -. sq -. (sq *. sy) in
   let qq =
     (sq *. (1. +. sy +. (beta *. (sq +. sy)) +. (beta *. sq *. sy)) /. denom
-    [@lint.allow "unguarded-division"])
-    (* Safe: the solver keeps r strictly above the positive root of
-       denom(r) = 0 (the saturation floor). *)
+    [@lint.allow
+      "unguarded-division"
+        "the solver keeps r strictly above the positive root of denom(r) = 0 (the \
+         saturation floor)"])
   in
   let qy = sy *. (1. +. qq +. (beta *. sq)) in
   (qq, qy)
@@ -140,8 +142,12 @@ let fixed_point_map c (params : Params.t) ~w r =
   let sq = kq *. params.so /. r in
   let sy = params.so /. r in
   let qq, qy = queues ~beta sq sy in
-  let rw = ((w +. (params.so *. qq)) /. (1. -. sq) [@lint.allow "unguarded-division"]) in
-  (* Safe: r > saturation floor implies sq < 1 (see [solve_status]). *)
+  let rw =
+    ((w +. (params.so *. qq)) /. (1. -. sq)
+    [@lint.allow
+      "unguarded-division"
+        "r > saturation floor implies sq < 1 (see [solve_status])"])
+  in
   rw +. expected_timeout_wait c +. (2. *. effective_wire c params)
   +. (qq *. r /. kq) +. (qy *. r)
 
@@ -151,7 +157,12 @@ let solution_of_r c (params : Params.t) ~w r =
   let sq = kq *. params.so /. r in
   let sy = params.so /. r in
   let qq, qy = queues ~beta sq sy in
-  let rw = ((w +. (params.so *. qq)) /. (1. -. sq) [@lint.allow "unguarded-division"]) in
+  let rw =
+    ((w +. (params.so *. qq)) /. (1. -. sq)
+    [@lint.allow
+      "unguarded-division"
+        "r > saturation floor implies sq < 1 (see [solve_status])"])
+  in
   {
     r;
     rw;

@@ -88,7 +88,9 @@ let solve_status ?(tol = 1e-12) ?(max_iter = 200_000) t =
   let { Params.st; so; c2; _ } = t.params in
   let beta = (c2 -. 1.) /. 2. in
   let thread_count =
-    Array.fold_left (fun acc spec -> if spec.work = None then acc else acc + 1) 0 t.nodes
+    Array.fold_left
+      (fun acc spec -> if Option.is_none spec.work then acc else acc + 1)
+      0 t.nodes
   in
   let max_queue = Float.of_int thread_count in
   let hops =

@@ -27,7 +27,10 @@ let queues (params : Params.t) u =
   let qq = u *. gq in
   let qy = u *. (1. +. qq +. (beta *. u)) in
   (qq, qy)
-[@@lint.allow "unguarded-division"]
+[@@lint.allow
+  "unguarded-division"
+    "the only caller, [residencies], rejects u at or above the golden-ratio bound \
+     before calling in, so 1 - u - u^2 stays strictly positive"]
 
 (* Golden-ratio bound: the closed forms need 1 − u − u² > 0. *)
 let u_limit = (sqrt 5. -. 1.) /. 2.

@@ -84,7 +84,7 @@ let sample t rng =
   match check t with
   | Constant c -> c
   | Exponential m -> if exactly_zero m then 0. else Rng.exponential rng m
-  | Uniform (lo, hi) -> if lo = hi then lo else Rng.float_range rng lo hi
+  | Uniform (lo, hi) -> if Float.equal lo hi then lo else Rng.float_range rng lo hi
   | Erlang (k, m) ->
     if exactly_zero m then 0.
     else begin

@@ -12,8 +12,15 @@ let size t = t.size
 
 let is_empty t = t.size = 0
 
-(* Entry ordering: earlier time first; insertion order breaks ties. *)
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Entry ordering: earlier time first; insertion order breaks ties. Spelled
+   as an explicit monomorphic comparator — Float.compare then Int.compare —
+   so the total order (including NaN placement, which push rejects anyway)
+   is defined by this line and not by the polymorphic compare runtime. *)
+let compare_entry a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let before a b = compare_entry a b < 0
 
 let grow t =
   let cap = Array.length t.data in

@@ -4,7 +4,12 @@
     item with the smallest timestamp, and among equal timestamps the one
     inserted first. This determinism matters — the simulator's results
     must be a pure function of its seed, and the paper's constant-service
-    configurations produce many simultaneous events. *)
+    configurations produce many simultaneous events.
+
+    The entry order is the explicit monomorphic comparator
+    [Float.compare time, then Int.compare seq] — a total order defined in
+    one place, with no dependence on the polymorphic compare runtime.
+    [push] rejects non-finite timestamps, so NaN never enters the order. *)
 
 type 'a t
 (** Mutable heap of items of type ['a]. *)

@@ -1,5 +1,8 @@
 type 'state solution = {
   index : ('state, int) Hashtbl.t;
+  state_of_id : 'state array;
+      (* inverse of [index], in discovery order: aggregation iterates this
+         array so results never depend on Hashtbl bucket order *)
   pi : float array;
 }
 
@@ -39,24 +42,26 @@ let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initia
     let s = Queue.pop frontier in
     let i = id_of s in
     ensure i;
-    if (!rows).(i) = [] then begin
+    if (match (!rows).(i) with [] -> true | _ :: _ -> false) then begin
       incr explored;
       let out =
         List.filter_map
           (fun (s', rate) ->
             if rate < 0. || not (Float.is_finite rate) then
               invalid_arg "Ctmc.solve: non-positive or non-finite rate";
-            if Float.equal rate 0. || s' = s then None
+            if Float.equal rate 0. then None
             else begin
               let before = !count in
               let j = id_of s' in
               if !count > before then Queue.push s' frontier;
-              Some (j, rate)
+              (* Self-loops compare by id (int), not by polymorphic
+                 equality on the caller's state type. *)
+              if j = i then None else Some (j, rate)
             end)
           (transitions s)
       in
       (* Mark visited even for absorbing states. *)
-      (!rows).(i) <- (if out = [] then [ (i, 0.) ] else out)
+      (!rows).(i) <- (match out with [] -> [ (i, 0.) ] | _ :: _ -> out)
     end
   done;
   let n = !count in
@@ -85,19 +90,27 @@ let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initia
     done;
     if !diff <= tol then converged := true
   done;
-  { index; pi }
+  let state_of_id = Array.make n initial in
+  List.iteri (fun k s -> state_of_id.(n - 1 - k) <- s) !states;
+  { index; state_of_id; pi }
 
 let states t = Array.length t.pi
 
 let probability t s =
   match Hashtbl.find_opt t.index s with Some i -> t.pi.(i) | None -> 0.
 
+(* Both aggregations iterate [state_of_id] (discovery order) rather than the
+   hash table, so float accumulation order — and hence the exact result — is
+   a function of the model alone. *)
+
 let expectation t ~f =
   let acc = ref 0. in
-  Hashtbl.iter (fun s i -> acc := !acc +. (t.pi.(i) *. f s)) t.index;
+  Array.iteri (fun i s -> acc := !acc +. (t.pi.(i) *. f s)) t.state_of_id;
   !acc
 
 let rate_of t ~event ~transitions =
   let acc = ref 0. in
-  Hashtbl.iter (fun s i -> acc := !acc +. (t.pi.(i) *. event s (transitions s))) t.index;
+  Array.iteri
+    (fun i s -> acc := !acc +. (t.pi.(i) *. event s (transitions s)))
+    t.state_of_id;
   !acc

@@ -37,11 +37,15 @@ val probability : 'state solution -> 'state -> float
 (** Stationary probability of one state ([0.] if unreachable). *)
 
 val expectation : 'state solution -> f:('state -> float) -> float
-(** [expectation sol ~f] is [Σ_s π(s)·f(s)]. *)
+(** [expectation sol ~f] is [Σ_s π(s)·f(s)]. Summation runs over states in
+    discovery order (the order exploration first reached them), never in
+    [Hashtbl] bucket order, so the floating-point result is a function of
+    the model alone and is bit-for-bit reproducible. *)
 
 val rate_of : 'state solution -> event:('state -> ('state * float) list -> float) ->
   transitions:('state -> ('state * float) list) -> float
 (** [rate_of sol ~event ~transitions] is the steady-state rate of an
     event class: [Σ_s π(s) ·. event s (transitions s)], where [event]
     returns the total rate of the transitions of interest out of [s]
-    (e.g. completions of a particular handler). *)
+    (e.g. completions of a particular handler). Like {!expectation}, the
+    sum runs in deterministic discovery order. *)

@@ -42,7 +42,7 @@ let nelder_mead ?(tol = 1e-10) ?(max_iter = 5000) ?initial_step ~f x0 =
         if k > 0 then v.(k - 1) <- v.(k - 1) +. step (k - 1);
         (v, f v))
   in
-  let order () = Array.sort (fun (_, a) (_, b) -> compare a b) simplex in
+  let order () = Array.sort (fun (_, a) (_, b) -> Float.compare a b) simplex in
   let centroid_excl_worst () =
     let c = Array.make n 0. in
     for k = 0 to n - 1 do

@@ -1,8 +1,9 @@
 (* Degree bookkeeping and degenerate-case dispatch compare coefficients and
    discriminants with exact zero on purpose: a coefficient only vanishes
    structurally (never by rounding we want to hide), and treating an almost
-   zero leading coefficient as zero would silently change the degree. *)
-[@@@lint.allow "float-equality"]
+   zero leading coefficient as zero would silently change the degree. The
+   tests are spelled [Float.equal _ 0.] — monomorphic, so deterministic
+   under the typed lint — rather than polymorphic [=]. *)
 
 type t = float array
 (* Coefficients lowest order first; invariant: non-empty, finite, trailing
@@ -10,7 +11,7 @@ type t = float array
 
 let trim a =
   let n = ref (Array.length a) in
-  while !n > 1 && a.(!n - 1) = 0. do
+  while !n > 1 && Float.equal a.(!n - 1) 0. do
     decr n
   done;
   Array.sub a 0 !n
@@ -57,7 +58,7 @@ let scale k t = trim (Array.map (fun c -> k *. c) t)
 let of_roots roots =
   Array.fold_left (fun acc r -> mul acc [| -.r; 1. |]) [| 1. |] roots
 
-let is_zero t = Array.length t = 1 && t.(0) = 0.
+let is_zero t = Array.length t = 1 && Float.equal t.(0) 0.
 
 (* --- root solvers ------------------------------------------------------ *)
 
@@ -66,7 +67,7 @@ let polish t root =
   let x = ref root in
   for _ = 1 to 3 do
     let d = eval dt !x in
-    if d <> 0. then begin
+    if not (Float.equal d 0.) then begin
       let next = !x -. (eval t !x /. d) in
       if Float.is_finite next && Float.abs (eval t next) <= Float.abs (eval t !x) then
         x := next
@@ -80,11 +81,11 @@ let roots_linear c0 c1 = [| -.c0 /. c1 |]
 let roots_quadratic c0 c1 c2 =
   let disc = (c1 *. c1) -. (4. *. c2 *. c0) in
   if disc < 0. then [||]
-  else if disc = 0. then [| -.c1 /. (2. *. c2) |]
+  else if Float.equal disc 0. then [| -.c1 /. (2. *. c2) |]
   else begin
     let sq = sqrt disc in
     let q = -0.5 *. (c1 +. Float.copy_sign sq c1) in
-    if q = 0. then [| 0.; -.c1 /. c2 |]
+    if Float.equal q 0. then [| 0.; -.c1 /. c2 |]
     else [| q /. c2; c0 /. q |]
   end
 
@@ -92,7 +93,7 @@ let cbrt x = Float.copy_sign (Float.abs x ** (1. /. 3.)) x
 
 (* Real roots of the depressed cubic t³ + p·t + q. *)
 let depressed_cubic_roots p q =
-  if p = 0. then [| cbrt (-.q) |]
+  if Float.equal p 0. then [| cbrt (-.q) |]
   else begin
     let disc = ((q *. q) /. 4.) +. ((p *. p *. p) /. 27.) in
     if disc > 0. then begin
@@ -128,7 +129,7 @@ let depressed_quartic_roots p q r =
           let s = sqrt z in
           out := s :: -.s :: !out
         end
-        else if z = 0. then out := 0. :: !out)
+        else if Float.equal z 0. then out := 0. :: !out)
       zs;
     Array.of_list !out
   end
@@ -170,19 +171,19 @@ let rec roots_by_subdivision t =
   let points =
     Array.to_list deriv_roots
     |> List.filter (fun x -> Float.abs x < cauchy_bound)
-    |> List.sort compare
+    |> List.sort Float.compare
   in
   let points = ((-.cauchy_bound) :: points) @ [ cauchy_bound ] in
   let rec scan acc = function
     | a :: (b :: _ as rest) ->
       let fa = eval t a and fb = eval t b in
       let acc =
-        if fa = 0. then a :: acc
+        if Float.equal fa 0. then a :: acc
         else if fa *. fb < 0. then Roots.brent ~f:(eval t) a b :: acc
         else acc
       in
       scan acc rest
-    | [ last ] -> if eval t last = 0. then last :: acc else acc
+    | [ last ] -> if Float.equal (eval t last) 0. then last :: acc else acc
     | [] -> acc
   in
   Array.of_list (scan [] points)
@@ -200,7 +201,7 @@ and real_roots_unpolished t =
 let real_roots t =
   let raw = real_roots_unpolished t in
   let polished = Array.map (polish t) raw in
-  Array.sort compare polished;
+  Array.sort Float.compare polished;
   (* Collapse numerically identical roots. *)
   let out = ref [] in
   Array.iter
@@ -215,7 +216,7 @@ let pp ppf t =
   let started = ref false in
   for i = Array.length t - 1 downto 0 do
     let c = t.(i) in
-    if c <> 0. || (Array.length t = 1 && i = 0) then begin
+    if (not (Float.equal c 0.)) || (Array.length t = 1 && i = 0) then begin
       if !started then Format.fprintf ppf (if c >= 0. then " + " else " - ")
       else if c < 0. then Format.fprintf ppf "-";
       started := true;

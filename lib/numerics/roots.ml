@@ -1,7 +1,10 @@
 (* Root finders legitimately compare residuals with exact zero: an IEEE-exact
    f(x) = 0. is a root by definition and ends the search early; near-misses
-   are handled by the tolerance tests alongside. *)
-[@@@lint.allow "float-equality"]
+   are handled by the tolerance tests alongside. The tests are spelled with
+   [Float.equal] — monomorphic, so deterministic under the typed lint —
+   rather than polymorphic [=]. *)
+
+let is_zero x = Float.equal x 0.
 
 exception No_bracket
 exception Not_converged of string
@@ -10,8 +13,8 @@ let same_strict_sign a b = (a > 0. && b > 0.) || (a < 0. && b < 0.)
 
 let bisect ?(tol = 1e-9) ?(max_iter = 200) ~f lo hi =
   let flo = f lo and fhi = f hi in
-  if flo = 0. then lo
-  else if fhi = 0. then hi
+  if is_zero flo then lo
+  else if is_zero fhi then hi
   else if same_strict_sign flo fhi then raise No_bracket
   else begin
     let lo = ref lo and hi = ref hi and flo = ref flo in
@@ -20,7 +23,7 @@ let bisect ?(tol = 1e-9) ?(max_iter = 200) ~f lo hi =
        for _ = 1 to max_iter do
          let mid = 0.5 *. (!lo +. !hi) in
          let fmid = f mid in
-         if fmid = 0. || !hi -. !lo < tol then begin
+         if is_zero fmid || !hi -. !lo < tol then begin
            result := mid;
            raise Exit
          end;
@@ -39,8 +42,8 @@ let bisect ?(tol = 1e-9) ?(max_iter = 200) ~f lo hi =
 let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
   let a = ref lo and b = ref hi in
   let fa = ref (f lo) and fb = ref (f hi) in
-  if !fa = 0. then !a
-  else if !fb = 0. then !b
+  if is_zero !fa then !a
+  else if is_zero !fb then !b
   else if same_strict_sign !fa !fb then raise No_bracket
   else begin
     let c = ref !a and fc = ref !fa in
@@ -58,7 +61,7 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
          end;
          let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
          let xm = 0.5 *. (!c -. !b) in
-         if Float.abs xm <= tol1 || !fb = 0. then begin
+         if Float.abs xm <= tol1 || is_zero !fb then begin
            answer := !b;
            raise Exit
          end;
@@ -66,7 +69,7 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
            (* Attempt inverse quadratic interpolation / secant. *)
            let s = !fb /. !fa in
            let p, q =
-             if !a = !c then
+             if Float.equal !a !c then
                let p = 2. *. xm *. s in
                (p, 1. -. s)
              else begin
@@ -115,7 +118,7 @@ let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
      for _ = 1 to max_iter do
        let fx = f !x in
        let dfx = df !x in
-       if dfx = 0. then raise (Not_converged "Newton: zero derivative");
+       if is_zero dfx then raise (Not_converged "Newton: zero derivative");
        let step = fx /. dfx in
        x := !x -. step;
        if Float.abs step <= tol *. Float.max 1. (Float.abs !x) then begin
@@ -130,7 +133,7 @@ let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
 
 let expand_bracket_upward ?(growth = 2.) ?(max_expansions = 100) ~f lo =
   let flo = f lo in
-  if flo = 0. then (lo, lo)
+  if is_zero flo then (lo, lo)
   else begin
     let step = ref (Float.max 1. (Float.abs lo *. 0.1)) in
     let hi = ref (lo +. !step) in
@@ -138,7 +141,7 @@ let expand_bracket_upward ?(growth = 2.) ?(max_expansions = 100) ~f lo =
       if n > max_expansions then raise No_bracket
       else begin
         let fhi = f !hi in
-        if fhi = 0. || not (same_strict_sign flo fhi) then (lo, !hi)
+        if is_zero fhi || not (same_strict_sign flo fhi) then (lo, !hi)
         else begin
           step := !step *. growth;
           hi := !hi +. !step;

@@ -39,7 +39,7 @@ let add t x =
   if t.n < 5 then begin
     t.heights.(t.n) <- x;
     t.n <- t.n + 1;
-    if t.n = 5 then Array.sort compare t.heights
+    if t.n = 5 then Array.sort Float.compare t.heights
   end
   else begin
     t.n <- t.n + 1;
@@ -89,7 +89,7 @@ let estimate t =
   else if t.n < 5 then begin
     (* Exact small-sample quantile (nearest-rank interpolation). *)
     let sample = Array.sub t.heights 0 t.n in
-    Array.sort compare sample;
+    Array.sort Float.compare sample;
     let h = t.q *. Float.of_int (t.n - 1) in
     let i = int_of_float (Float.floor h) in
     if i >= t.n - 1 then sample.(t.n - 1)

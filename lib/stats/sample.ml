@@ -7,7 +7,9 @@ let of_array a =
       if not (Float.is_finite x) then invalid_arg "Sample.of_array: non-finite value")
     a;
   let data = Array.copy a in
-  Array.sort compare data;
+  (* Monomorphic sort: IEEE total order on finite values (of_array rejects
+     non-finite input above), identical on every platform. *)
+  Array.sort Float.compare data;
   let n = Float.of_int (Array.length data) in
   let mean = Array.fold_left ( +. ) 0. data /. n in
   let variance =

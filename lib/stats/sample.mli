@@ -7,7 +7,9 @@ type t
 (** An immutable, sorted sample. *)
 
 val of_array : float array -> t
-(** [of_array a] copies and sorts [a].
+(** [of_array a] copies and sorts [a] with [Float.compare] — the IEEE
+    total order, which on the finite values accepted here coincides with
+    numeric [<=] and is identical on every platform.
     @raise Invalid_argument if [a] is empty or contains non-finite
     values. *)
 

@@ -165,20 +165,46 @@ let test_missing_mli_ignores_executables () =
 (* --- suppression -------------------------------------------------------- *)
 
 let test_suppression () =
-  hits "expression-level [@lint.allow]" []
+  hits "expression-level justified [@lint.allow]" []
     (lint_all ~path:"bin/fixture.ml"
-       {|let f x = (x = 1.0 [@lint.allow "float-equality"])|});
-  hits "binding-level [@@lint.allow]" []
+       {|let f x = (x = 1.0 [@lint.allow "float-equality" "fixture"])|});
+  hits "binding-level justified [@@lint.allow]" []
     (lint_all ~path:"bin/fixture.ml"
-       "let f w u = w /. (1. -. u)\n[@@lint.allow \"unguarded-division\"]");
-  hits "file-level [@@@lint.allow]" []
+       "let f w u = w /. (1. -. u)\n[@@lint.allow \"unguarded-division\" \"fixture\"]");
+  hits "file-level justified [@@@lint.allow]" []
     (lint_all ~path:"bin/fixture.ml"
-       "[@@@lint.allow \"float-equality\"]\nlet f x = x = 1.0\nlet g y = y <> 2.");
+       "[@@@lint.allow \"float-equality\" \"fixture\"]\n\
+        let f x = x = 1.0\n\
+        let g y = y <> 2.");
   (* A suppression only silences the rule it names. *)
   hits "unrelated suppression does not mask"
     [ ("float-equality", 1) ]
     (lint_all ~path:"bin/fixture.ml"
-       {|let f x = (x = 1.0 [@lint.allow "unguarded-division"])|})
+       {|let f x = (x = 1.0 [@lint.allow "unguarded-division" "fixture"])|})
+
+let test_bare_suppression () =
+  (* The legacy one-string form still suppresses its rule, but is itself
+     reported — an unjustified exemption is a finding. *)
+  hits "bare form suppresses but is flagged"
+    [ ("bare-suppression", 1) ]
+    (lint_all ~path:"bin/fixture.ml"
+       {|let f x = (x = 1.0 [@lint.allow "float-equality"])|});
+  (* An empty justification does not count as one. *)
+  hits "whitespace justification is still bare"
+    [ ("bare-suppression", 1) ]
+    (lint_all ~path:"bin/fixture.ml"
+       {|let f x = (x = 1.0 [@lint.allow "float-equality" "  "])|});
+  (* bare-suppression findings cannot excuse themselves: only a justified
+     region may suppress them. *)
+  hits "bare region cannot self-suppress"
+    [ ("bare-suppression", 1); ("bare-suppression", 2) ]
+    (lint_all ~path:"bin/fixture.ml"
+       "[@@@lint.allow \"bare-suppression\"]\n\
+        let f x = (x = 1.0 [@lint.allow \"float-equality\"])");
+  hits "justified region may suppress bare-suppression" []
+    (lint_all ~path:"bin/fixture.ml"
+       "[@@@lint.allow \"bare-suppression\" \"legacy sites migrate next release\"]\n\
+        let f x = (x = 1.0 [@lint.allow \"float-equality\"])")
 
 (* --- driver ------------------------------------------------------------- *)
 
@@ -233,6 +259,7 @@ let suite =
     Alcotest.test_case "missing-mli ignores executables" `Quick
       test_missing_mli_ignores_executables;
     Alcotest.test_case "suppression" `Quick test_suppression;
+    Alcotest.test_case "bare suppression" `Quick test_bare_suppression;
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
     Alcotest.test_case "parse error" `Quick test_parse_error;
     Alcotest.test_case "json report" `Quick test_json_report;

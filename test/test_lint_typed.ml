@@ -1,0 +1,300 @@
+(* Tests for the typed (stage 2) analyses: each interprocedural rule fires
+   on a seeded violating fixture with the right rule id and location, stays
+   silent on the corresponding clean fixture, renders its reachability /
+   witness chain, and honours justified [@lint.allow] attributes read back
+   from the source file. Fixtures are typechecked in-process from strings
+   (Cmt_loader.typecheck_string), so no _build tree is needed. *)
+
+module Finding = Lopc_analysis.Finding
+module Cmt_loader = Lopc_analysis.Cmt_loader
+module Typed_driver = Lopc_analysis.Typed_driver
+module Driver = Lopc_analysis.Driver
+
+let unit_of ?(modname = "Fixture") ?(source = "lib/fixture/fixture.ml") src =
+  match Cmt_loader.typecheck_string ~modname ~source src with
+  | Ok u -> u
+  | Error msg -> Alcotest.failf "fixture does not typecheck: %s" msg
+
+let analyze ?entries ?modname ?source src =
+  Typed_driver.analyze_units ?entries [ unit_of ?modname ?source src ]
+
+let hits name expected findings =
+  Alcotest.(check (list (pair string int)))
+    name expected
+    (List.map (fun (f : Finding.t) -> (f.rule, Finding.line f)) findings)
+
+let message_contains (f : Finding.t) needle =
+  let nl = String.length needle and ml = String.length f.message in
+  let rec go i = i + nl <= ml && (String.sub f.message i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains name (f : Finding.t) needle =
+  if not (message_contains f needle) then
+    Alcotest.failf "%s: message %S does not contain %S" name f.message needle
+
+(* --- determinism-taint -------------------------------------------------- *)
+
+let test_taint_wall_clock_fires () =
+  let src =
+    "let clock () = Sys.time ()\n"
+    ^ "let solve_status x = x +. clock ()"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "wall clock reachable from solve_status" [ ("determinism-taint", 1) ] [ f ];
+    check_contains "chain names the entry" f "Fixture.solve_status -> Fixture.clock";
+    check_contains "source is named" f "Sys.time"
+  | fs -> Alcotest.failf "expected one taint finding, got %d" (List.length fs)
+
+let test_taint_unreachable_silent () =
+  (* The same source exists but nothing reachable from an entry touches it. *)
+  let src =
+    "let clock () = Sys.time ()\n"
+    ^ "let solve_status x = x +. 1.\n"
+    ^ "let _ = clock"
+  in
+  hits "unreachable wall clock is clean" [] (analyze src)
+
+let test_taint_poly_compare_on_floats () =
+  let src =
+    "let order (a : float array) = Array.sort compare a\n"
+    ^ "let solve_status a = order a; Array.length a"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "polymorphic compare instantiated at float" [ ("determinism-taint", 1) ] [ f ];
+    check_contains "float is the reason" f "float"
+  | fs -> Alcotest.failf "expected one taint finding, got %d" (List.length fs)
+
+let test_taint_monomorphic_compare_silent () =
+  let src =
+    "let order (a : float array) = Array.sort Float.compare a\n"
+    ^ "let solve_status a = order a; Array.length a"
+  in
+  hits "Float.compare is deterministic" [] (analyze src)
+
+let test_taint_poly_compare_on_ints_silent () =
+  let src =
+    "let order (a : int array) = Array.sort compare a\n"
+    ^ "let solve_status a = order a; Array.length a"
+  in
+  hits "polymorphic compare at int is safe" [] (analyze src)
+
+let test_taint_hashtbl_iteration () =
+  let src =
+    "let total h = Hashtbl.fold (fun _ v acc -> acc +. v) h 0.\n"
+    ^ "let solve_status h = total h"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "Hashtbl.fold order leaks into the result" [ ("determinism-taint", 1) ] [ f ];
+    check_contains "iteration order is the reason" f "iteration order"
+  | fs -> Alcotest.failf "expected one taint finding, got %d" (List.length fs)
+
+let test_taint_global_random () =
+  let src =
+    "let jitter () = Random.float 1.0\n"
+    ^ "let solve_status x = x +. jitter ()"
+  in
+  hits "global Random reachable from solve_status"
+    [ ("determinism-taint", 1) ]
+    (analyze src)
+
+let test_taint_record_with_float_field () =
+  (* Project type expansion: the comparison is on an abstract-looking record
+     whose declaration (same unit) carries a float field. *)
+  let src =
+    "type obs = { label : string; value : float }\n"
+    ^ "let dedup (a : obs) (b : obs) = a = b\n"
+    ^ "let solve_status a b = if dedup a b then 1 else 0"
+  in
+  match analyze src with
+  | [ f ] -> hits "float field found by expansion" [ ("determinism-taint", 2) ] [ f ]
+  | fs -> Alcotest.failf "expected one taint finding, got %d" (List.length fs)
+
+let test_taint_extra_entry () =
+  (* `run` is no entry by name; --entry promotes it. *)
+  let src = "let run () = Sys.time ()" in
+  hits "no entry, no finding" [] (analyze src);
+  hits "--entry promotes the key"
+    [ ("determinism-taint", 1) ]
+    (analyze ~entries:[ "Fixture.run" ] src)
+
+(* --- exn-escape --------------------------------------------------------- *)
+
+let test_exn_escape_fires () =
+  let src =
+    "let step x = if x > 10. then raise Exit else x +. 1.\n"
+    ^ "let solve_status x = step (step x)"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "Exit escapes through a callee" [ ("exn-escape", 1) ] [ f ];
+    check_contains "witness chain" f "Fixture.solve_status -> Fixture.step";
+    check_contains "exception is named" f "`Exit`"
+  | fs -> Alcotest.failf "expected one escape finding, got %d" (List.length fs)
+
+let test_exn_escape_caught_silent () =
+  let src =
+    "let step x = if x > 10. then raise Exit else x +. 1.\n"
+    ^ "let solve_status x = try step x with Exit -> x"
+  in
+  hits "handled exception does not escape" [] (analyze src)
+
+let test_exn_escape_invalid_arg_allowed () =
+  let src = "let solve_status x = if x < 0. then invalid_arg \"negative\" else x" in
+  hits "Invalid_argument is the documented contract" [] (analyze src)
+
+let test_exn_escape_stdlib_raiser () =
+  let src = "let solve_status tbl k = Hashtbl.find tbl k" in
+  match analyze src with
+  | [ f ] ->
+    hits "Hashtbl.find's Not_found escapes" [ ("exn-escape", 1) ] [ f ];
+    check_contains "Not_found named" f "`Not_found`"
+  | fs -> Alcotest.failf "expected one escape finding, got %d" (List.length fs)
+
+let test_exn_escape_wildcard_handler_silent () =
+  let src =
+    "let step x = if x > 10. then raise Exit else x +. 1.\n"
+    ^ "let solve_status x = try step x with _ -> x"
+  in
+  hits "wildcard handler catches everything" [] (analyze src)
+
+(* --- rng-stream-discipline ---------------------------------------------- *)
+
+let rng_module =
+  "module Rng = struct\n"
+  ^ "  type t = { mutable s : int }\n"
+  ^ "  let create n = { s = n }\n"
+  ^ "  let split t = t.s <- t.s + 1; { s = t.s * 7 }\n"
+  ^ "  let float t = t.s <- t.s + 1; Float.of_int t.s\n"
+  ^ "end\n"
+
+let test_stream_double_use_fires () =
+  let src =
+    rng_module
+    ^ "let pair rng =\n"
+    ^ "  let s = Rng.split rng in\n"
+    ^ "  (Rng.float s, Rng.float s)"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "two sequential draws from one child" [ ("rng-stream-discipline", 8) ] [ f ];
+    check_contains "binding is named" f "stream `s`"
+  | fs -> Alcotest.failf "expected one stream finding, got %d" (List.length fs)
+
+let test_stream_one_split_per_consumer_silent () =
+  let src =
+    rng_module
+    ^ "let pair rng =\n"
+    ^ "  let s1 = Rng.split rng in\n"
+    ^ "  let s2 = Rng.split rng in\n"
+    ^ "  (Rng.float s1, Rng.float s2)"
+  in
+  hits "one consumer per child is the protocol" [] (analyze src)
+
+let test_stream_branch_arms_are_alternatives () =
+  let src =
+    rng_module
+    ^ "let pick rng c =\n"
+    ^ "  let s = Rng.split rng in\n"
+    ^ "  if c then Rng.float s else -. (Rng.float s)"
+  in
+  hits "one use on each branch arm is one use" [] (analyze src)
+
+let test_stream_loop_use_fires () =
+  let src =
+    rng_module
+    ^ "let churn rng =\n"
+    ^ "  let s = Rng.split rng in\n"
+    ^ "  let acc = ref 0. in\n"
+    ^ "  for _ = 1 to 3 do acc := !acc +. Rng.float s done;\n"
+    ^ "  !acc"
+  in
+  hits "a loop body multiplies the use" [ ("rng-stream-discipline", 8) ] (analyze src)
+
+(* --- suppression of typed findings -------------------------------------- *)
+
+(* Typed findings are filtered by the [@lint.allow] regions of the source
+   file they point into, so the fixture must exist on disk. *)
+let with_fixture_file src f =
+  let path = Filename.temp_file "lopc_lint_typed" ".ml" in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_typed_suppression () =
+  let violating which =
+    "let clock () = (Sys.time () " ^ which ^ ")\n"
+    ^ "let solve_status x = x +. clock ()"
+  in
+  with_fixture_file (violating {|[@lint.allow "determinism-taint" "fixture"]|})
+    (fun path ->
+      hits "justified suppression silences the typed finding" []
+        (analyze ~source:path (violating {|[@lint.allow "determinism-taint" "fixture"]|})));
+  with_fixture_file (violating {|[@lint.allow "exn-escape" "wrong rule"]|})
+    (fun path ->
+      hits "a suppression naming another rule does not mask"
+        [ ("determinism-taint", 1) ]
+        (analyze ~source:path (violating {|[@lint.allow "exn-escape" "wrong rule"]|})))
+
+(* --- report stability ---------------------------------------------------- *)
+
+let test_json_stable_across_runs () =
+  (* Same fixture, two independent typecheck+analyze passes: the rendered
+     JSON must be byte-identical (no ident stamps, hash order or other
+     per-run state may leak into the report). *)
+  let src =
+    "let clock () = Sys.time ()\n"
+    ^ "let order (a : float array) = Array.sort compare a\n"
+    ^ "let solve_status a = order a; clock ()\n"
+    ^ "let solve x = x + 1"
+  in
+  let render () =
+    let findings = analyze src in
+    Format.asprintf "%a" (fun ppf -> Driver.report ppf ~format:Driver.Json) findings
+  in
+  let first = render () in
+  let second = render () in
+  Alcotest.(check string) "two runs render identically" first second;
+  Alcotest.(check bool) "report is non-trivial" true (String.length first > 10)
+
+let test_typed_catalogue () =
+  Alcotest.(check (list string))
+    "the three typed rules, in catalogue order"
+    [ "determinism-taint"; "exn-escape"; "rng-stream-discipline" ]
+    (List.map (fun (id, _, _) -> id) Typed_driver.catalogue)
+
+let suite =
+  [
+    Alcotest.test_case "taint: wall clock fires" `Quick test_taint_wall_clock_fires;
+    Alcotest.test_case "taint: unreachable silent" `Quick test_taint_unreachable_silent;
+    Alcotest.test_case "taint: poly compare on floats" `Quick
+      test_taint_poly_compare_on_floats;
+    Alcotest.test_case "taint: Float.compare silent" `Quick
+      test_taint_monomorphic_compare_silent;
+    Alcotest.test_case "taint: poly compare on ints silent" `Quick
+      test_taint_poly_compare_on_ints_silent;
+    Alcotest.test_case "taint: Hashtbl iteration" `Quick test_taint_hashtbl_iteration;
+    Alcotest.test_case "taint: global Random" `Quick test_taint_global_random;
+    Alcotest.test_case "taint: float field by expansion" `Quick
+      test_taint_record_with_float_field;
+    Alcotest.test_case "taint: --entry promotes" `Quick test_taint_extra_entry;
+    Alcotest.test_case "exn: escape fires" `Quick test_exn_escape_fires;
+    Alcotest.test_case "exn: caught silent" `Quick test_exn_escape_caught_silent;
+    Alcotest.test_case "exn: invalid_arg allowed" `Quick
+      test_exn_escape_invalid_arg_allowed;
+    Alcotest.test_case "exn: stdlib raiser" `Quick test_exn_escape_stdlib_raiser;
+    Alcotest.test_case "exn: wildcard handler" `Quick
+      test_exn_escape_wildcard_handler_silent;
+    Alcotest.test_case "stream: double use fires" `Quick test_stream_double_use_fires;
+    Alcotest.test_case "stream: split per consumer" `Quick
+      test_stream_one_split_per_consumer_silent;
+    Alcotest.test_case "stream: branch arms" `Quick
+      test_stream_branch_arms_are_alternatives;
+    Alcotest.test_case "stream: loop use fires" `Quick test_stream_loop_use_fires;
+    Alcotest.test_case "typed suppression" `Quick test_typed_suppression;
+    Alcotest.test_case "json stable across runs" `Quick test_json_stable_across_runs;
+    Alcotest.test_case "typed catalogue" `Quick test_typed_catalogue;
+  ]

@@ -17,4 +17,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);
       ("lint", Test_lint.suite);
+      ("lint_typed", Test_lint_typed.suite);
     ]
