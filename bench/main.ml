@@ -3,21 +3,20 @@
    Usage:
      main.exe                 reproduce every table/figure (full fidelity)
      main.exe --quick         same, with shorter simulations
+     main.exe --jobs N        fan replications across N domains (default: all cores)
      main.exe fig5.2 fig6.2   reproduce selected artifacts
      main.exe --csv DIR       additionally write each table as DIR/<name>.csv
      main.exe micro           run the Bechamel micro-benchmarks
-     main.exe --list          list artifact names *)
+     main.exe --list          list artifact names
+
+   Tables go to stdout; timing goes to stderr so that full-run stdout is
+   byte-comparable across runs and across --jobs settings. Full runs also
+   write BENCH_<gitsha>.json with micro ns/run estimates and per-artifact
+   wall-clock times. *)
 
 module Experiments = Lopc_repro.Experiments
+module Parallel = Lopc_repro.Parallel
 module Table = Lopc_repro.Table
-
-let artifact_names =
-  [
-    "table3.1"; "fig5.1"; "fig5.2"; "fig5.3"; "table5.3"; "fig6.2";
-    "ablate.arrival"; "ablate.priority"; "ablate.scv"; "ablate.solvers";
-    "shared-memory"; "windowed"; "notification"; "ablate.multiserver"; "gap";
-    "assumptions"; "network"; "exact"; "fault";
-  ]
 
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
 
@@ -82,7 +81,10 @@ let micro_tests () =
            Lopc_markov.Exact_machine.all_to_all ~p:3 ~w:1000. ~so:200. ~st:40. ()));
   ]
 
-let run_micro () =
+(* Estimates sorted by test name: Bechamel hands results back in a
+   Hashtbl, whose iteration order is unspecified, so reporting straight
+   out of Hashtbl.iter made the output order vary run to run. *)
+let micro_estimates () =
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -91,19 +93,88 @@ let run_micro () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
+  micro_tests ()
+  |> List.concat_map (fun test ->
+         let results =
+           Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ])
+         in
+         Hashtbl.fold
+           (fun name raw acc ->
+             let est = Analyze.one ols instance raw in
+             let ns =
+               match Analyze.OLS.estimates est with
+               | Some [ ns ] -> Some ns
+               | Some _ | None -> None
+             in
+             (name, ns) :: acc)
+           results [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run_micro () =
   print_endline "## Micro-benchmarks (monotonic clock, ns/run)";
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
-      Hashtbl.iter
-        (fun name raw ->
-          let est = Analyze.one ols instance raw in
-          match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Printf.printf "%-45s %12.1f ns/run\n%!" name ns
-          | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name;
-          ignore raw)
-        results)
-    (micro_tests ())
+    (fun (name, ns) ->
+      match ns with
+      | Some ns -> Printf.printf "%-45s %12.1f ns/run\n%!" name ns
+      | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+    (micro_estimates ())
+
+(* --- BENCH_<gitsha>.json -------------------------------------------------- *)
+
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let write_bench_json ~sha ~fidelity ~jobs ~wall_s ~artifact_times ~micro =
+  let path = Printf.sprintf "BENCH_%s.json" sha in
+  let oc = open_out path in
+  let item fmt = Printf.ksprintf (output_string oc) fmt in
+  item "{\n";
+  item "  \"schema\": \"lopc-bench/1\",\n";
+  item "  \"git_sha\": %s,\n" (json_string sha);
+  item "  \"fidelity\": %s,\n"
+    (json_string (match fidelity with Experiments.Quick -> "quick" | Full -> "full"));
+  item "  \"jobs\": %d,\n" jobs;
+  item "  \"wall_clock_s\": %.3f,\n" wall_s;
+  item "  \"artifacts\": [\n";
+  List.iteri
+    (fun i (name, seconds) ->
+      item "    {\"name\": %s, \"seconds\": %.3f}%s\n" (json_string name) seconds
+        (if i = List.length artifact_times - 1 then "" else ","))
+    artifact_times;
+  item "  ],\n";
+  item "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      item "    {\"name\": %s, \"ns_per_run\": %s}%s\n" (json_string name)
+        (match ns with Some ns -> Printf.sprintf "%.1f" ns | None -> "null")
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  item "  ]\n";
+  item "}\n";
+  close_out oc;
+  path
 
 (* --- reproduction driver -------------------------------------------------- *)
 
@@ -118,59 +189,105 @@ let emit ~csv_dir (name, table) =
     close_out oc;
     Format.printf "(csv written to %s)@.@." path
 
-let main () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let rec parse_csv = function
-    | "--csv" :: dir :: _ -> Some dir
-    | _ :: rest -> parse_csv rest
-    | [] -> None
+type options = {
+  quick : bool;
+  list : bool;
+  csv_dir : string option;
+  jobs : int option;
+  selected : string list;
+}
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "%s\nusage: %s [--quick] [--jobs N] [--csv DIR] [--list] [ARTIFACT...]\n"
+        msg Sys.argv.(0);
+      exit 2)
+    fmt
+
+let is_flag a = String.length a >= 2 && String.sub a 0 2 = "--"
+
+let parse_args args =
+  let rec go opts = function
+    | [] -> { opts with selected = List.rev opts.selected }
+    | "--quick" :: rest -> go { opts with quick = true } rest
+    | "--list" :: rest -> go { opts with list = true } rest
+    | "--csv" :: dir :: rest when not (is_flag dir) ->
+      go { opts with csv_dir = Some dir } rest
+    | [ "--csv" ] | "--csv" :: _ -> usage_error "--csv requires a directory argument"
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> go { opts with jobs = Some n } rest
+      | Some _ | None -> usage_error "--jobs requires a positive integer, got %S" n)
+    | [ "--jobs" ] -> usage_error "--jobs requires a positive integer"
+    | flag :: _ when is_flag flag -> usage_error "unknown flag %S" flag
+    | name :: rest -> go { opts with selected = name :: opts.selected } rest
   in
-  let csv_dir = parse_csv args in
-  (match csv_dir with
+  go { quick = false; list = false; csv_dir = None; jobs = None; selected = [] } args
+
+let artifact_names () = List.map fst (Experiments.plans ())
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let main () =
+  let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
+  (match opts.csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
   | Some _ | None -> ());
-  let selected =
-    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
-    |> List.filter (fun a -> Some a <> csv_dir)
-  in
-  let fidelity = if quick then Experiments.Quick else Experiments.Full in
-  if List.mem "--list" args then
-    List.iter print_endline ("micro" :: artifact_names)
-  else if selected = [] then begin
-    let t0 = Unix.gettimeofday () in
-    List.iter (emit ~csv_dir) (Experiments.all ~fidelity ());
-    Printf.printf "reproduced %d artifacts in %.1fs\n" (List.length artifact_names)
-      (Unix.gettimeofday () -. t0)
+  let fidelity = if opts.quick then Experiments.Quick else Experiments.Full in
+  if opts.list then List.iter print_endline ("micro" :: artifact_names ())
+  else begin
+    let pool = Parallel.create ?jobs:opts.jobs () in
+    Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+    let jobs = Parallel.jobs pool in
+    if opts.selected = [] then begin
+      let t0 = Unix.gettimeofday () in
+      let artifact_times =
+        List.map
+          (fun (name, plan) ->
+            let table, seconds =
+              timed (fun () -> Experiments.run_plan ~pool plan)
+            in
+            emit ~csv_dir:opts.csv_dir (name, table);
+            Printf.eprintf "[timing] %-20s %4d tasks  %8.2fs\n%!" name
+              (Experiments.task_count plan) seconds;
+            (name, seconds))
+          (Experiments.plans ~fidelity ())
+      in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let micro = micro_estimates () in
+      let json_path =
+        write_bench_json ~sha:(git_sha ()) ~fidelity ~jobs ~wall_s ~artifact_times
+          ~micro
+      in
+      (* Count what was actually emitted, not the name list: the two can
+         drift, and the summary is the line CI greps for. *)
+      Printf.eprintf "reproduced %d artifacts in %.1fs (jobs=%d); %s\n%!"
+        (List.length artifact_times) wall_s jobs json_path
+    end
+    else
+      List.iter
+        (fun name ->
+          if name = "micro" then run_micro ()
+          else
+            (* Fresh plan per selection: plans capture mutable PRNG
+               streams and are single-shot. *)
+            match List.assoc_opt name (Experiments.plans ~fidelity ()) with
+            | Some plan ->
+              let table, seconds =
+                timed (fun () -> Experiments.run_plan ~pool plan)
+              in
+              emit ~csv_dir:opts.csv_dir (name, table);
+              Printf.eprintf "[timing] %-20s %4d tasks  %8.2fs\n%!" name
+                (Experiments.task_count plan) seconds
+            | None ->
+              Printf.eprintf "unknown artifact %S; try --list\n" name;
+              exit 1)
+        opts.selected
   end
-  else
-    List.iter
-      (fun name ->
-        match name with
-        | "micro" -> run_micro ()
-        | "table3.1" -> emit ~csv_dir (name, Experiments.table3_1 ())
-        | "fig5.1" -> emit ~csv_dir (name, Experiments.fig5_1 ())
-        | "fig5.2" -> emit ~csv_dir (name, Experiments.fig5_2 ~fidelity ())
-        | "fig5.3" -> emit ~csv_dir (name, Experiments.fig5_3 ~fidelity ())
-        | "table5.3" -> emit ~csv_dir (name, Experiments.table5_3 ~fidelity ())
-        | "fig6.2" -> emit ~csv_dir (name, Experiments.fig6_2 ~fidelity ())
-        | "ablate.arrival" -> emit ~csv_dir (name, Experiments.ablation_arrival_theorem ())
-        | "ablate.priority" -> emit ~csv_dir (name, Experiments.ablation_priority ())
-        | "ablate.scv" -> emit ~csv_dir (name, Experiments.ablation_scv_correction ~fidelity ())
-        | "ablate.solvers" -> emit ~csv_dir (name, Experiments.ablation_solvers ())
-        | "shared-memory" -> emit ~csv_dir (name, Experiments.shared_memory_comparison ~fidelity ())
-        | "windowed" -> emit ~csv_dir (name, Experiments.windowed_speedup ~fidelity ())
-        | "notification" -> emit ~csv_dir (name, Experiments.notification_modes ~fidelity ())
-        | "ablate.multiserver" -> emit ~csv_dir (name, Experiments.ablation_multiserver ())
-        | "gap" -> emit ~csv_dir (name, Experiments.gap_study ~fidelity ())
-        | "assumptions" -> emit ~csv_dir (name, Experiments.assumptions_audit ~fidelity ())
-        | "network" -> emit ~csv_dir (name, Experiments.network_contention ~fidelity ())
-        | "exact" -> emit ~csv_dir (name, Experiments.exact_comparison ~fidelity ())
-        | "fault" -> emit ~csv_dir (name, Experiments.fault_sweep ~fidelity ())
-        | other ->
-          Printf.eprintf "unknown artifact %S; try --list\n" other;
-          exit 1)
-      selected
 
 let () =
   try main () with

@@ -544,12 +544,16 @@ and finish_cycle m node =
 
 (* Build the machine, schedule the initial cycles and run the warm-up
    phase; returns the machine plus a guarded single-step function. *)
-let prepare ?on_cycle ~seed ~warmup ~max_events ~spec () =
+let prepare ?on_cycle ?rng ~seed ~warmup ~max_events ~spec () =
   (match Spec.validate spec with
   | Ok _ -> ()
   | Error reason -> invalid_arg ("Machine: " ^ reason));
   let engine = Engine.create () in
-  let master = Rng.create seed in
+  (* The master stream may be supplied by the caller (a split child keyed
+     on the replication, for parallel reproduction runs); everything below
+     only ever splits and draws from [master], and the machine record owns
+     all other state, so concurrent [run] calls never share anything. *)
+  let master = match rng with Some r -> r | None -> Rng.create seed in
   let metrics = Metrics.create ~nodes:spec.Spec.nodes in
   let nodes =
     Array.init spec.Spec.nodes (fun id ->
@@ -626,11 +630,11 @@ let result_of m =
     events = Engine.events_processed m.engine;
   }
 
-let run ?(seed = 42) ?warmup_cycles ?(max_events = 200_000_000) ?on_cycle ~spec ~cycles
-    () =
+let run ?(seed = 42) ?rng ?warmup_cycles ?(max_events = 200_000_000) ?on_cycle ~spec
+    ~cycles () =
   if cycles <= 0 then invalid_arg "Machine: cycles must be positive";
   let warmup = match warmup_cycles with Some w -> max 0 w | None -> max 1000 (cycles / 10) in
-  let m, step_guarded = prepare ?on_cycle ~seed ~warmup ~max_events ~spec () in
+  let m, step_guarded = prepare ?on_cycle ?rng ~seed ~warmup ~max_events ~spec () in
   while m.completed_measured < cycles && step_guarded () do
     ()
   done;
@@ -642,13 +646,15 @@ type confidence = {
   converged : bool;
 }
 
-let run_until_confident ?(seed = 42) ?(warmup_cycles = 2_000)
+let run_until_confident ?(seed = 42) ?rng ?(warmup_cycles = 2_000)
     ?(max_events = 500_000_000) ?(batch_cycles = 2_000) ?(max_batches = 200)
     ~rel_precision ~spec () =
   if rel_precision <= 0. then invalid_arg "Machine: rel_precision must be positive";
   if batch_cycles <= 0 then invalid_arg "Machine: batch_cycles must be positive";
   if max_batches < 3 then invalid_arg "Machine: need at least three batches";
-  let m, step_guarded = prepare ~seed ~warmup:(max 0 warmup_cycles) ~max_events ~spec () in
+  let m, step_guarded =
+    prepare ?rng ~seed ~warmup:(max 0 warmup_cycles) ~max_events ~spec ()
+  in
   let batch_means = Lopc_stats.Welford.create () in
   let exhausted = ref false in
   let converged = ref false in

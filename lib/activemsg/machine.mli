@@ -14,7 +14,10 @@
       {e and} the handler queue has drained (queued handlers have
       priority, §5.1).
 
-    Runs are deterministic functions of [seed]. *)
+    Runs are deterministic functions of [seed] (or of the supplied [rng]
+    stream). The entry points are re-entrant: all simulation state lives in
+    the machine value built per call, so independent replications may run
+    concurrently on separate domains as long as each gets its own stream. *)
 
 type result = {
   metrics : Metrics.t;   (** Post-warm-up measurements. *)
@@ -38,6 +41,7 @@ type cycle_report = {
 
 val run :
   ?seed:int ->
+  ?rng:Lopc_prng.Rng.t ->
   ?warmup_cycles:int ->
   ?max_events:int ->
   ?on_cycle:(cycle_report -> unit) ->
@@ -48,7 +52,10 @@ val run :
 (** [run ~spec ~cycles ()] simulates until [cycles] compute/request cycles
     have completed after warm-up (counted across all threads).
     [warmup_cycles] (default [max 1000 (cycles/10)]) completions are
-    discarded first. [seed] defaults to [42]. [max_events] (default
+    discarded first. [seed] defaults to [42]; when [rng] is given it is
+    used as the master stream instead (the caller typically passes a
+    {!Lopc_prng.Rng.split} child keyed on its replication index, so
+    parallel replications stay deterministic). [max_events] (default
     [200_000_000]) is a runaway guard.
     @raise Invalid_argument if the spec fails {!Spec.validate}, no node
     runs a thread, a route ever returns an empty list or an out-of-range
@@ -65,6 +72,7 @@ type confidence = {
 
 val run_until_confident :
   ?seed:int ->
+  ?rng:Lopc_prng.Rng.t ->
   ?warmup_cycles:int ->
   ?max_events:int ->
   ?batch_cycles:int ->

@@ -203,6 +203,30 @@ let entries =
         "Split once per consumer: let s1 = Rng.split rng in let s2 = Rng.split \
          rng in ... — never alias or re-draw from the same child.";
     };
+    {
+      id = "parallel-rng-capture";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "a task passed to Parallel.run/map captures a raw Rng.t from outside the \
+         task";
+      rationale =
+        "Tasks handed to Parallel.run execute on whichever domain steals them, in \
+         whatever order workers reach them. Parallel.run is order-insensitive \
+         exactly when every task draws only from its own pre-split stream, \
+         derived serially and keyed on the task index; a task that draws from or \
+         splits a generator captured from the enclosing scope advances shared \
+         state in worker completion order, so its values depend on scheduling. \
+         Arrays of streams (Rng.t array, one element per task) are the \
+         sanctioned carrier and are not flagged.";
+      example =
+        "let noisy pool rng =\n\
+        \  Parallel.run pool (Array.init 4 (fun _ -> fun () -> Rng.float rng))";
+      fix =
+        "Derive per-task streams before building the task array: let streams = \
+         Rng.split_n rng n in Parallel.run pool (Array.init n (fun i -> fun () \
+         -> Rng.float streams.(i))).";
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) entries

@@ -9,6 +9,7 @@ let catalogue =
     (Taint_rules.rule_id, Taint_rules.severity, Taint_rules.summary);
     (Exn_rules.rule_id, Exn_rules.severity, Exn_rules.summary);
     (Stream_rules.rule_id, Stream_rules.severity, Stream_rules.summary);
+    (Par_rules.rule_id, Par_rules.severity, Par_rules.summary);
   ]
 
 let analyze_units ?(entries = []) units =
@@ -16,7 +17,7 @@ let analyze_units ?(entries = []) units =
   let taint_config = { Taint_rules.default_config with entries } in
   let findings =
     Taint_rules.check ~config:taint_config graph
-    @ Exn_rules.check graph @ Stream_rules.check graph
+    @ Exn_rules.check graph @ Stream_rules.check graph @ Par_rules.check graph
   in
   (* Suppression regions come from the sources the findings point into;
      cache per file since many findings share one. *)

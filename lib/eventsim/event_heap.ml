@@ -1,7 +1,12 @@
 type 'a entry = { time : float; seq : int; payload : 'a }
 
+(* Slots above [size] are [None]: a popped entry must not linger in the
+   backing array, because event payloads are closures over node state and
+   long simulations would otherwise retain one dead closure per pop (the
+   vacated slot aliases live entries only transitively, so the leak shows
+   up as popped-but-reachable payloads, not as a monotonic counter). *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -22,11 +27,15 @@ let compare_entry a b =
 
 let before a b = compare_entry a b < 0
 
+let get t i =
+  match t.data.(i) with
+  | Some e -> e
+  | None -> assert false (* slots below [size] are always populated *)
+
 let grow t =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  (* Placeholder slots are overwritten before being read. *)
-  let fresh = Array.make new_cap t.data.(0) in
+  let fresh = Array.make new_cap None in
   Array.blit t.data 0 fresh 0 t.size;
   t.data <- fresh
 
@@ -34,18 +43,17 @@ let push t ~time x =
   if not (Float.is_finite time) then invalid_arg "Event_heap.push: non-finite time";
   let entry = { time; seq = t.next_seq; payload = x } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry
-  else if t.size = Array.length t.data then grow t;
+  if t.size = Array.length t.data then grow t;
   (* Sift up. *)
   let i = ref t.size in
   t.size <- t.size + 1;
-  t.data.(!i) <- entry;
+  t.data.(!i) <- Some entry;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before entry t.data.(parent) then begin
+    if before entry (get t parent) then begin
       t.data.(!i) <- t.data.(parent);
-      t.data.(parent) <- entry;
+      t.data.(parent) <- Some entry;
       i := parent
     end
     else continue := false
@@ -54,19 +62,25 @@ let push t ~time x =
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      let last = t.data.(t.size) in
-      t.data.(0) <- last;
+    if t.size = 0 then
+      (* Heap drained: drop the whole backing array. *)
+      t.data <- [||]
+    else begin
+      let last = get t t.size in
+      t.data.(0) <- Some last;
+      (* Null the vacated slot so the entry moved to the root is the only
+         reference the array keeps. *)
+      t.data.(t.size) <- None;
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+        if l < t.size && before (get t l) (get t !smallest) then smallest := l;
+        if r < t.size && before (get t r) (get t !smallest) then smallest := r;
         if !smallest <> !i then begin
           let tmp = t.data.(!i) in
           t.data.(!i) <- t.data.(!smallest);
@@ -79,8 +93,9 @@ let pop t =
     Some (top.time, top.payload)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+let peek_time t = if t.size = 0 then None else Some (get t 0).time
 
 let clear t =
   t.size <- 0;
-  t.next_seq <- 0
+  t.next_seq <- 0;
+  t.data <- [||]

@@ -28,10 +28,14 @@ val push : 'a t -> time:float -> 'a -> unit
     @raise Invalid_argument if [time] is not finite. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest item, or [None] when empty. *)
+(** Remove and return the earliest item, or [None] when empty. The vacated
+    slot is nulled (and the backing array dropped once the heap drains), so
+    a popped payload — typically a closure over node state — is released
+    immediately rather than retained until the slot is overwritten. *)
 
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest item without removing it. *)
 
 val clear : 'a t -> unit
-(** Remove everything. *)
+(** Remove everything and drop the backing array (releasing every payload,
+    not just resetting the size). *)

@@ -12,506 +12,631 @@ module Amva = Lopc_mva.Amva
 module Exact_mva = Lopc_mva.Exact_mva
 module Solution = Lopc_mva.Solution
 module Priority = Lopc_mva.Priority
+module Rng = Lopc_prng.Rng
 
 type fidelity = Quick | Full
 
 let sim_cycles = function Quick -> 8_000 | Full -> 60_000
+
+(* --- task plans ----------------------------------------------------------- *)
+
+(* An artifact is reproduced as an index-ordered array of independent
+   tasks (one per sweep point, usually), each returning its rows, plus an
+   ordered merge. The split between the two is what makes the parallel
+   run byte-identical to the serial one: tasks own pre-derived PRNG
+   streams, results are merged by index, and nothing depends on which
+   worker ran what when. *)
+type plan = {
+  tasks : (unit -> Table.cell list list) array;
+  assemble : Table.cell list list array -> Table.t;
+}
+
+let task_count plan = Array.length plan.tasks
+
+let run_plan ?pool plan =
+  let groups =
+    match pool with
+    | Some pool -> Parallel.run pool plan.tasks
+    | None -> Array.map (fun task -> task ()) plan.tasks
+  in
+  plan.assemble groups
+
+(* Per-point stream derivation, keyed on (artifact, point) and never on
+   scheduling order: the artifact name is folded into the experiment seed
+   (FNV-1a over the bytes), the per-point streams are Rng.split children
+   taken in point order at plan-build time, and each simulator replication
+   inside a task splits again from its point stream in a fixed textual
+   order. Streams are therefore a pure function of
+   (seed, artifact, point, replication). *)
+let point_streams ~seed ~artifact n =
+  let key =
+    String.fold_left
+      (fun acc c ->
+        Int64.mul (Int64.logxor acc (Int64.of_int (Char.code c))) 0x100000001b3L)
+      0xcbf29ce484222325L artifact
+  in
+  Rng.split_n (Rng.create (Int64.to_int (Int64.logxor key (Int64.of_int seed)))) n
+
+(* One task per point: [row ~rng point] returns that point's rows, drawing
+   any replications from split children of [rng]. *)
+let point_tasks ~seed ~artifact points row =
+  let points = Array.of_list points in
+  let streams = point_streams ~seed ~artifact (Array.length points) in
+  Array.mapi (fun i point -> fun () -> row ~rng:streams.(i) point) points
+
+(* Model-only artifacts need no streams; their points are still one task
+   each so even the analytic tables parallelise. *)
+let pure_tasks points row =
+  Array.map (fun point () -> row point) (Array.of_list points)
 
 (* Shared experiment constants (see EXPERIMENTS.md). *)
 let nodes = 32
 let wire_latency = 40.
 let w_sweep = [ 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048. ]
 
-let simulate_all_to_all ?(protocol_processor = false) ~fidelity ~seed ~w ~so ~c2 () =
+let simulate_all_to_all ?(protocol_processor = false) ~fidelity ~rng ~w ~so ~c2 () =
   let spec =
     Pattern.to_spec ~protocol_processor ~nodes ~work:(D.of_mean_scv ~mean:w ~scv:1.)
       ~handler:(D.of_mean_scv ~mean:so ~scv:c2) ~wire:(D.Constant wire_latency)
       Pattern.All_to_all
   in
-  (Machine.run ~seed ~spec ~cycles:(sim_cycles fidelity) ()).Machine.metrics
+  (Machine.run ~rng ~spec ~cycles:(sim_cycles fidelity) ()).Machine.metrics
 
-let table3_1 () =
-  Table.create ~caption:"Table 3.1: architectural parameters of the LoPC model"
-    ~columns:[ "LoPC"; "LogP"; "Description" ]
-    (List.map
-       (fun (lopc, logp, description) ->
-         [ Table.Text lopc; Table.Text logp; Table.Text description ])
-       Params.logp_correspondence)
+(* --- the artifacts -------------------------------------------------------- *)
 
-let fig5_1 () =
+let table3_1_plan () =
+  {
+    tasks =
+      [|
+        (fun () ->
+          List.map
+            (fun (lopc, logp, description) ->
+              [ Table.Text lopc; Table.Text logp; Table.Text description ])
+            Params.logp_correspondence);
+      |];
+    assemble =
+      Table.of_row_groups
+        ~caption:"Table 3.1: architectural parameters of the LoPC model"
+        ~columns:[ "LoPC"; "LogP"; "Description" ];
+  }
+
+let fig5_1_plan () =
   let handler_occupancies = [ 128.; 256.; 512.; 1024. ] in
   let c2_values = List.init 9 (fun i -> Float.of_int i *. 0.25) in
-  let rows =
-    List.map
-      (fun c2 ->
-        Table.Float c2
-        :: List.map
-             (fun so ->
-               let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
-               Table.Float (A.contention_fraction params ~w:1000.))
-             handler_occupancies)
-      c2_values
-  in
-  Table.create
-    ~caption:
-      "Fig 5-1: fraction of response time devoted to contention vs handler C2 \
-       (W=1000, P=32, St=40)"
-    ~columns:[ "C2"; "So=128"; "So=256"; "So=512"; "So=1024" ]
-    rows
+  {
+    tasks =
+      pure_tasks c2_values (fun c2 ->
+          [
+            Table.Float c2
+            :: List.map
+                 (fun so ->
+                   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
+                   Table.Float (A.contention_fraction params ~w:1000.))
+                 handler_occupancies;
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Fig 5-1: fraction of response time devoted to contention vs handler C2 \
+           (W=1000, P=32, St=40)"
+        ~columns:[ "C2"; "So=128"; "So=256"; "So=512"; "So=1024" ];
+  }
 
-let fig5_2 ?(fidelity = Full) ?(seed = 42) () =
+let fig5_2_plan ~fidelity ~seed =
   let so = 200. and c2 = 0. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
-  let rows =
-    List.map
-      (fun w ->
-        let lb = A.lower_bound params ~w in
-        let ub = A.upper_bound params ~w in
-        let model = (A.solve params ~w).A.r in
-        let sim = Metrics.mean_response (simulate_all_to_all ~fidelity ~seed ~w ~so ~c2 ()) in
-        [ Table.Float w; Table.Float lb; Table.Float model; Table.Float ub; Table.Float sim ])
-      w_sweep
-  in
-  Table.create
-    ~caption:
-      "Fig 5-2: all-to-all response time vs work (So=200, C2=0, P=32, St=40)"
-    ~columns:[ "W"; "lower bound"; "LoPC"; "upper bound"; "simulator" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"fig5.2" w_sweep (fun ~rng w ->
+          let lb = A.lower_bound params ~w in
+          let ub = A.upper_bound params ~w in
+          let model = (A.solve params ~w).A.r in
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.mean_response
+              (simulate_all_to_all ~fidelity ~rng:replication ~w ~so ~c2 ())
+          in
+          [
+            [
+              Table.Float w; Table.Float lb; Table.Float model; Table.Float ub;
+              Table.Float sim;
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Fig 5-2: all-to-all response time vs work (So=200, C2=0, P=32, St=40)"
+        ~columns:[ "W"; "lower bound"; "LoPC"; "upper bound"; "simulator" ];
+  }
 
-let fig5_3 ?(fidelity = Full) ?(seed = 42) () =
+let fig5_3_plan ~fidelity ~seed =
   let so = 200. and c2 = 0. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
-  let rows =
-    List.map
-      (fun w ->
-        let s = A.solve params ~w in
-        let m = simulate_all_to_all ~fidelity ~seed ~w ~so ~c2 () in
-        let sim_rw = Welford.mean m.Metrics.rw -. w in
-        let sim_rq = Welford.mean m.Metrics.rq -. so in
-        let sim_ry = Welford.mean m.Metrics.ry -. so in
-        [
-          Table.Float w;
-          Table.Float (s.A.rw -. w);
-          Table.Float sim_rw;
-          Table.Float (s.A.rq -. so);
-          Table.Float sim_rq;
-          Table.Float (s.A.ry -. so);
-          Table.Float sim_ry;
-          Table.Float s.A.contention;
-          Table.Float (sim_rw +. sim_rq +. sim_ry);
-        ])
-      w_sweep
-  in
-  Table.create
-    ~caption:
-      "Fig 5-3: contention components per cycle, 32-node all-to-all (So=200, C2=0); \
-       columns paired model/simulator"
-    ~columns:
-      [
-        "W"; "thread (LoPC)"; "thread (sim)"; "request (LoPC)"; "request (sim)";
-        "reply (LoPC)"; "reply (sim)"; "total (LoPC)"; "total (sim)";
-      ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"fig5.3" w_sweep (fun ~rng w ->
+          let s = A.solve params ~w in
+          let replication = Rng.split rng in
+          let m = simulate_all_to_all ~fidelity ~rng:replication ~w ~so ~c2 () in
+          let sim_rw = Welford.mean m.Metrics.rw -. w in
+          let sim_rq = Welford.mean m.Metrics.rq -. so in
+          let sim_ry = Welford.mean m.Metrics.ry -. so in
+          [
+            [
+              Table.Float w;
+              Table.Float (s.A.rw -. w);
+              Table.Float sim_rw;
+              Table.Float (s.A.rq -. so);
+              Table.Float sim_rq;
+              Table.Float (s.A.ry -. so);
+              Table.Float sim_ry;
+              Table.Float s.A.contention;
+              Table.Float (sim_rw +. sim_rq +. sim_ry);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Fig 5-3: contention components per cycle, 32-node all-to-all (So=200, C2=0); \
+           columns paired model/simulator"
+        ~columns:
+          [
+            "W"; "thread (LoPC)"; "thread (sim)"; "request (LoPC)"; "request (sim)";
+            "reply (LoPC)"; "reply (sim)"; "total (LoPC)"; "total (sim)";
+          ];
+  }
 
-let table5_3 ?(fidelity = Full) ?(seed = 42) () =
+let table5_3_plan ~fidelity ~seed =
   let so = 200. and c2 = 0. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
-  let sweep = 0. :: w_sweep in
-  let rows =
-    List.map
-      (fun w ->
-        let sim = Metrics.mean_response (simulate_all_to_all ~fidelity ~seed ~w ~so ~c2 ()) in
-        let lopc = (A.solve params ~w).A.r in
-        let logp = Logp.cycle_time params ~w in
-        [
-          Table.Float w;
-          Table.Float sim;
-          Table.Float lopc;
-          Table.Float (100. *. (lopc -. sim) /. sim);
-          Table.Float logp;
-          Table.Float (100. *. (logp -. sim) /. sim);
-          Table.Float ((sim -. logp) /. so);
-        ])
-      sweep
-  in
-  Table.create
-    ~caption:
-      "Section 5.3 accuracy: LoPC vs contention-free LogP against the simulator \
-       (So=200, C2=0, P=32). Paper claims: LoPC <= +6%; LogP down to -37% with an \
-       absolute error of about one handler at every W."
-    ~columns:
-      [ "W"; "simulator"; "LoPC"; "LoPC err %"; "LogP"; "LogP err %"; "LogP abs err / So" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"table5.3" (0. :: w_sweep) (fun ~rng w ->
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.mean_response
+              (simulate_all_to_all ~fidelity ~rng:replication ~w ~so ~c2 ())
+          in
+          let lopc = (A.solve params ~w).A.r in
+          let logp = Logp.cycle_time params ~w in
+          [
+            [
+              Table.Float w;
+              Table.Float sim;
+              Table.Float lopc;
+              Table.Float (100. *. (lopc -. sim) /. sim);
+              Table.Float logp;
+              Table.Float (100. *. (logp -. sim) /. sim);
+              Table.Float ((sim -. logp) /. so);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Section 5.3 accuracy: LoPC vs contention-free LogP against the simulator \
+           (So=200, C2=0, P=32). Paper claims: LoPC <= +6%; LogP down to -37% with an \
+           absolute error of about one handler at every W."
+        ~columns:
+          [ "W"; "simulator"; "LoPC"; "LoPC err %"; "LogP"; "LogP err %";
+            "LogP abs err / So" ];
+  }
 
-let fig6_2 ?(fidelity = Full) ?(seed = 42) () =
+let fig6_2_plan ~fidelity ~seed =
   let so = 131. and w = 1000. and c2 = 1. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
   let optimum = CS.optimal_servers params ~w in
   let cycles = sim_cycles fidelity in
-  let rows =
-    List.init (nodes - 1) (fun i ->
-        let servers = i + 1 in
-        let model = (CS.throughput params ~w ~servers).CS.throughput in
-        let spec =
-          Pattern.to_spec ~nodes ~work:(D.Exponential w) ~handler:(D.Exponential so)
-            ~wire:(D.Constant wire_latency)
-            (Pattern.Client_server { servers })
-        in
-        let sim =
-          Metrics.throughput (Machine.run ~seed ~spec ~cycles ()).Machine.metrics
-        in
-        [
-          Table.Int servers;
-          Table.Float model;
-          Table.Float sim;
-          Table.Float (Logp.server_bound params ~servers);
-          Table.Float (Logp.client_bound params ~w ~clients:(nodes - servers));
-          (if servers = optimum then Table.Text "optimal (Eq 6.8)" else Table.Missing);
-        ])
-  in
-  Table.create
-    ~caption:
-      (Printf.sprintf
-         "Fig 6-2: work-pile throughput vs servers (P=32, So=131, W=1000, St=40); Eq \
-          6.8 optimum Ps*=%d (real-valued %.2f)"
-         optimum (CS.optimal_servers_real params ~w))
-    ~columns:
-      [ "servers"; "LoPC X"; "simulator X"; "server bound"; "client bound"; "marker" ]
-    rows
-
-let ablation_arrival_theorem () =
-  let so = 131. and w = 1000. in
-  let think = w +. (2. *. wire_latency) +. so in
-  let rows =
-    List.filter_map
-      (fun servers ->
-        if servers >= nodes then None
-        else begin
-          let stations =
-            Array.init servers (fun _ ->
-                Station.queueing ~scv:1. ~demand:(so /. Float.of_int servers) ())
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"fig6.2"
+        (List.init (nodes - 1) (fun i -> i + 1))
+        (fun ~rng servers ->
+          let model = (CS.throughput params ~w ~servers).CS.throughput in
+          let spec =
+            Pattern.to_spec ~nodes ~work:(D.Exponential w) ~handler:(D.Exponential so)
+              ~wire:(D.Constant wire_latency)
+              (Pattern.Client_server { servers })
           in
-          let population = nodes - servers in
-          let exact = Exact_mva.solve ~think_time:think ~stations ~population () in
-          let solve approximation =
-            (Amva.solve ~approximation ~think_time:think ~stations ~population ())
-              .Solution.throughput
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.throughput
+              (Machine.run ~rng:replication ~spec ~cycles ()).Machine.metrics
           in
-          let xe = exact.Solution.throughput in
-          let xb = solve Amva.Bard and xs = solve Amva.Schweitzer in
-          Some
+          [
             [
               Table.Int servers;
-              Table.Float xe;
-              Table.Float xb;
-              Table.Float (100. *. (xb -. xe) /. xe);
-              Table.Float xs;
-              Table.Float (100. *. (xs -. xe) /. xe);
-            ]
-        end)
-      [ 1; 2; 4; 8; 16 ]
-  in
-  Table.create
-    ~caption:
-      "Ablation: Bard (paper) vs Schweitzer arrival-theorem approximation against \
-       exact MVA on the Fig 6-2 network"
-    ~columns:[ "servers"; "exact X"; "Bard X"; "Bard err %"; "Schweitzer X"; "Schweitzer err %" ]
-    rows
+              Table.Float model;
+              Table.Float sim;
+              Table.Float (Logp.server_bound params ~servers);
+              Table.Float (Logp.client_bound params ~w ~clients:(nodes - servers));
+              (if servers = optimum then Table.Text "optimal (Eq 6.8)" else Table.Missing);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          (Printf.sprintf
+             "Fig 6-2: work-pile throughput vs servers (P=32, So=131, W=1000, St=40); Eq \
+              6.8 optimum Ps*=%d (real-valued %.2f)"
+             optimum (CS.optimal_servers_real params ~w))
+        ~columns:
+          [ "servers"; "LoPC X"; "simulator X"; "server bound"; "client bound"; "marker" ];
+  }
 
-let ablation_priority () =
+let ablation_arrival_theorem_plan () =
+  let so = 131. and w = 1000. in
+  let think = w +. (2. *. wire_latency) +. so in
+  {
+    tasks =
+      pure_tasks [ 1; 2; 4; 8; 16 ] (fun servers ->
+          if servers >= nodes then []
+          else begin
+            let stations =
+              Array.init servers (fun _ ->
+                  Station.queueing ~scv:1. ~demand:(so /. Float.of_int servers) ())
+            in
+            let population = nodes - servers in
+            let exact = Exact_mva.solve ~think_time:think ~stations ~population () in
+            let solve approximation =
+              (Amva.solve ~approximation ~think_time:think ~stations ~population ())
+                .Solution.throughput
+            in
+            let xe = exact.Solution.throughput in
+            let xb = solve Amva.Bard and xs = solve Amva.Schweitzer in
+            [
+              [
+                Table.Int servers;
+                Table.Float xe;
+                Table.Float xb;
+                Table.Float (100. *. (xb -. xe) /. xe);
+                Table.Float xs;
+                Table.Float (100. *. (xs -. xe) /. xe);
+              ];
+            ]
+          end);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Ablation: Bard (paper) vs Schweitzer arrival-theorem approximation against \
+           exact MVA on the Fig 6-2 network"
+        ~columns:
+          [ "servers"; "exact X"; "Bard X"; "Bard err %"; "Schweitzer X";
+            "Schweitzer err %" ];
+  }
+
+let ablation_priority_plan () =
   let so = 200. and c2 = 0. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
-  let rows =
-    List.map
-      (fun w ->
-        let s = A.solve params ~w in
-        let bkt =
-          Priority.bkt ~work:w ~handler_service:so ~handler_queue:s.A.qq ~handler_util:s.A.uq
-        in
-        let shadow = Priority.shadow_server ~work:w ~handler_util:s.A.uq in
-        [ Table.Float w; Table.Float s.A.rw; Table.Float bkt; Table.Float shadow ])
-      w_sweep
-  in
-  Table.create
-    ~caption:
-      "Ablation: thread residence Rw under BKT (paper) vs shadow-server priority \
-       approximations (evaluated at the LoPC fixed point)"
-    ~columns:[ "W"; "Rw (model)"; "BKT"; "shadow server" ]
-    rows
+  {
+    tasks =
+      pure_tasks w_sweep (fun w ->
+          let s = A.solve params ~w in
+          let bkt =
+            Priority.bkt ~work:w ~handler_service:so ~handler_queue:s.A.qq
+              ~handler_util:s.A.uq
+          in
+          let shadow = Priority.shadow_server ~work:w ~handler_util:s.A.uq in
+          [ [ Table.Float w; Table.Float s.A.rw; Table.Float bkt; Table.Float shadow ] ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Ablation: thread residence Rw under BKT (paper) vs shadow-server priority \
+           approximations (evaluated at the LoPC fixed point)"
+        ~columns:[ "W"; "Rw (model)"; "BKT"; "shadow server" ];
+  }
 
-let ablation_scv_correction ?(fidelity = Full) ?(seed = 42) () =
+let ablation_scv_correction_plan ~fidelity ~seed =
   let so = 200. in
   let with_corr = Params.create ~c2:0. ~p:nodes ~st:wire_latency ~so () in
   let without_corr = Params.create ~c2:1. ~p:nodes ~st:wire_latency ~so () in
-  let rows =
-    List.map
-      (fun w ->
-        (* Simulator runs constant handlers; the C2=1 model is what one
-           would get by ignoring Eq 5.8. *)
-        let sim = Metrics.mean_response (simulate_all_to_all ~fidelity ~seed ~w ~so ~c2:0. ()) in
-        let corrected = (A.solve with_corr ~w).A.r in
-        let uncorrected = (A.solve without_corr ~w).A.r in
-        [
-          Table.Float w;
-          Table.Float sim;
-          Table.Float corrected;
-          Table.Float (100. *. (corrected -. sim) /. sim);
-          Table.Float uncorrected;
-          Table.Float (100. *. (uncorrected -. sim) /. sim);
-        ])
-      [ 2.; 32.; 256.; 1024. ]
-  in
-  Table.create
-    ~caption:
-      "Ablation: Eq 5.8 residual-life correction on constant handlers (C2=0) — error \
-       with the correction vs pretending handlers are exponential"
-    ~columns:[ "W"; "simulator"; "LoPC C2=0"; "err %"; "LoPC C2=1"; "err %" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"ablate.scv" [ 2.; 32.; 256.; 1024. ]
+        (fun ~rng w ->
+          (* Simulator runs constant handlers; the C2=1 model is what one
+             would get by ignoring Eq 5.8. *)
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.mean_response
+              (simulate_all_to_all ~fidelity ~rng:replication ~w ~so ~c2:0. ())
+          in
+          let corrected = (A.solve with_corr ~w).A.r in
+          let uncorrected = (A.solve without_corr ~w).A.r in
+          [
+            [
+              Table.Float w;
+              Table.Float sim;
+              Table.Float corrected;
+              Table.Float (100. *. (corrected -. sim) /. sim);
+              Table.Float uncorrected;
+              Table.Float (100. *. (uncorrected -. sim) /. sim);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Ablation: Eq 5.8 residual-life correction on constant handlers (C2=0) — error \
+           with the correction vs pretending handlers are exponential"
+        ~columns:[ "W"; "simulator"; "LoPC C2=0"; "err %"; "LoPC C2=1"; "err %" ];
+  }
 
-let ablation_solvers () =
+let ablation_solvers_plan () =
   let grid =
-    [ (16, 0., 100., 0.); (32, 40., 200., 0.); (32, 40., 200., 1000.); (64, 100., 500., 2000.) ]
+    [ (16, 0., 100., 0.); (32, 40., 200., 0.); (32, 40., 200., 1000.);
+      (64, 100., 500., 2000.) ]
   in
-  let rows =
-    List.map
-      (fun (p, st, so, w) ->
-        let params = Params.create ~c2:0. ~p ~st ~so () in
-        let brent = (A.solve ~solve_method:A.Brent_on_residual params ~w).A.r in
-        let iter = (A.solve ~solve_method:A.Damped_iteration params ~w).A.r in
-        let poly = (A.solve ~solve_method:A.Polynomial_roots params ~w).A.r in
-        [
-          Table.Int p;
-          Table.Float st;
-          Table.Float so;
-          Table.Float w;
-          Table.Float brent;
-          Table.Float (iter -. brent);
-          Table.Float (poly -. brent);
-        ])
-      grid
-  in
-  Table.create
-    ~caption:"Ablation: agreement of the three all-to-all solution methods"
-    ~columns:[ "P"; "St"; "So"; "W"; "R (Brent)"; "iteration - Brent"; "poly - Brent" ]
-    rows
+  {
+    tasks =
+      pure_tasks grid (fun (p, st, so, w) ->
+          let params = Params.create ~c2:0. ~p ~st ~so () in
+          let brent = (A.solve ~solve_method:A.Brent_on_residual params ~w).A.r in
+          let iter = (A.solve ~solve_method:A.Damped_iteration params ~w).A.r in
+          let poly = (A.solve ~solve_method:A.Polynomial_roots params ~w).A.r in
+          [
+            [
+              Table.Int p;
+              Table.Float st;
+              Table.Float so;
+              Table.Float w;
+              Table.Float brent;
+              Table.Float (iter -. brent);
+              Table.Float (poly -. brent);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:"Ablation: agreement of the three all-to-all solution methods"
+        ~columns:[ "P"; "St"; "So"; "W"; "R (Brent)"; "iteration - Brent"; "poly - Brent" ];
+  }
 
-let shared_memory_comparison ?(fidelity = Full) ?(seed = 42) () =
+let shared_memory_comparison_plan ~fidelity ~seed =
   let so = 200. and c2 = 0. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
-  let rows =
-    List.map
-      (fun w ->
-        let mp = (A.solve params ~w).A.r in
-        let pp = (A.solve ~execution:A.Protocol_processor params ~w).A.r in
-        let sim_mp =
-          Metrics.mean_response (simulate_all_to_all ~fidelity ~seed ~w ~so ~c2 ())
-        in
-        let sim_pp =
-          Metrics.mean_response
-            (simulate_all_to_all ~protocol_processor:true ~fidelity ~seed ~w ~so ~c2 ())
-        in
-        [
-          Table.Float w;
-          Table.Float mp;
-          Table.Float sim_mp;
-          Table.Float pp;
-          Table.Float sim_pp;
-          Table.Float (100. *. (mp -. pp) /. pp);
-        ])
-      [ 2.; 32.; 256.; 1024.; 2048. ]
-  in
-  Table.create
-    ~caption:
-      "Section 5.1 shared memory: interrupt-driven vs protocol-processor cycle time \
-       (model and simulator), with the message-passing penalty"
-    ~columns:
-      [ "W"; "msg-passing R"; "sim"; "protocol-proc R"; "sim"; "MP penalty %" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"shared-memory" [ 2.; 32.; 256.; 1024.; 2048. ]
+        (fun ~rng w ->
+          let mp = (A.solve params ~w).A.r in
+          let pp = (A.solve ~execution:A.Protocol_processor params ~w).A.r in
+          let rep_mp = Rng.split rng in
+          let sim_mp =
+            Metrics.mean_response
+              (simulate_all_to_all ~fidelity ~rng:rep_mp ~w ~so ~c2 ())
+          in
+          let rep_pp = Rng.split rng in
+          let sim_pp =
+            Metrics.mean_response
+              (simulate_all_to_all ~protocol_processor:true ~fidelity ~rng:rep_pp ~w
+                 ~so ~c2 ())
+          in
+          [
+            [
+              Table.Float w;
+              Table.Float mp;
+              Table.Float sim_mp;
+              Table.Float pp;
+              Table.Float sim_pp;
+              Table.Float (100. *. (mp -. pp) /. pp);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Section 5.1 shared memory: interrupt-driven vs protocol-processor cycle time \
+           (model and simulator), with the message-passing penalty"
+        ~columns:[ "W"; "msg-passing R"; "sim"; "protocol-proc R"; "sim"; "MP penalty %" ];
+  }
 
-let windowed_speedup ?(fidelity = Full) ?(seed = 42) () =
+let windowed_speedup_plan ~fidelity ~seed =
   let so = 200. and w = 1000. and c2 = 1. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
   let saturation = Lopc.Windowed.saturation_rate params ~w in
   let base = (Lopc.Windowed.solve ~window:1 params ~w).Lopc.Windowed.node_rate in
-  let rows =
-    List.map
-      (fun window ->
-        let model = Lopc.Windowed.solve ~window params ~w in
-        let spec =
-          Lopc_activemsg.Spec.all_to_all ~window ~nodes ~work:(D.Exponential w)
-            ~handler:(D.Exponential so) ~wire:(D.Constant wire_latency) ()
-        in
-        let sim =
-          Metrics.throughput
-            (Machine.run ~seed ~spec ~cycles:(sim_cycles fidelity) ()).Machine.metrics
-          /. Float.of_int nodes
-        in
-        [
-          Table.Int window;
-          Table.Float model.Lopc.Windowed.node_rate;
-          Table.Float sim;
-          Table.Float (100. *. (model.Lopc.Windowed.node_rate -. sim) /. sim);
-          Table.Float (model.Lopc.Windowed.node_rate /. base);
-          Table.Float model.Lopc.Windowed.processor_util;
-        ])
-      [ 1; 2; 3; 4; 6; 8 ]
-  in
-  Table.create
-    ~caption:
-      (Printf.sprintf
-         "Section 7 extension: non-blocking (windowed) requests, per-node rate vs \
-          window (P=32, W=1000, So=200, C2=1); saturation ceiling %.6f"
-         saturation)
-    ~columns:[ "window"; "model X/node"; "sim X/node"; "err %"; "speedup"; "proc util" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"windowed" [ 1; 2; 3; 4; 6; 8 ] (fun ~rng window ->
+          let model = Lopc.Windowed.solve ~window params ~w in
+          let spec =
+            Lopc_activemsg.Spec.all_to_all ~window ~nodes ~work:(D.Exponential w)
+              ~handler:(D.Exponential so) ~wire:(D.Constant wire_latency) ()
+          in
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.throughput
+              (Machine.run ~rng:replication ~spec ~cycles:(sim_cycles fidelity) ())
+                .Machine.metrics
+            /. Float.of_int nodes
+          in
+          [
+            [
+              Table.Int window;
+              Table.Float model.Lopc.Windowed.node_rate;
+              Table.Float sim;
+              Table.Float (100. *. (model.Lopc.Windowed.node_rate -. sim) /. sim);
+              Table.Float (model.Lopc.Windowed.node_rate /. base);
+              Table.Float model.Lopc.Windowed.processor_util;
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          (Printf.sprintf
+             "Section 7 extension: non-blocking (windowed) requests, per-node rate vs \
+              window (P=32, W=1000, So=200, C2=1); saturation ceiling %.6f"
+             saturation)
+        ~columns:[ "window"; "model X/node"; "sim X/node"; "err %"; "speedup"; "proc util" ];
+  }
 
-let ablation_multiserver () =
+let ablation_multiserver_plan () =
   let so = 131. and w = 1000. in
   let params = Params.create ~c2:1. ~p:nodes ~st:wire_latency ~so () in
-  let rows =
-    List.map
-      (fun servers ->
-        let x threads =
-          (CS.throughput ~threads_per_server:threads params ~w ~servers).CS.throughput
-        in
-        [
-          Table.Int servers;
-          Table.Float (x 1);
-          Table.Float (x 2);
-          Table.Float (x 4);
-          Table.Float (100. *. ((x 2 /. x 1) -. 1.));
-        ])
-      [ 1; 2; 3; 4; 5; 8; 12; 16 ]
-  in
-  Table.create
-    ~caption:
-      "Extension of section 6: work-pile throughput with multithreaded servers \
-       (1/2/4 handler threads per server node; P=32, So=131, W=1000)"
-    ~columns:[ "servers"; "X (1 thread)"; "X (2 threads)"; "X (4 threads)"; "gain of 2nd thread %" ]
-    rows
+  {
+    tasks =
+      pure_tasks [ 1; 2; 3; 4; 5; 8; 12; 16 ] (fun servers ->
+          let x threads =
+            (CS.throughput ~threads_per_server:threads params ~w ~servers).CS.throughput
+          in
+          [
+            [
+              Table.Int servers;
+              Table.Float (x 1);
+              Table.Float (x 2);
+              Table.Float (x 4);
+              Table.Float (100. *. ((x 2 /. x 1) -. 1.));
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Extension of section 6: work-pile throughput with multithreaded servers \
+           (1/2/4 handler threads per server node; P=32, So=131, W=1000)"
+        ~columns:
+          [ "servers"; "X (1 thread)"; "X (2 threads)"; "X (4 threads)";
+            "gain of 2nd thread %" ];
+  }
 
-let notification_modes ?(fidelity = Full) ?(seed = 42) () =
+let notification_modes_plan ~fidelity ~seed =
   let so = 200. and c2 = 1. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
   let cycles = sim_cycles fidelity in
-  let simulate ~polling ~protocol_processor w =
+  let simulate ~rng ~polling ~protocol_processor w =
     let spec =
       Lopc_activemsg.Spec.all_to_all ~protocol_processor ~polling ~nodes
         ~work:(D.Exponential w) ~handler:(D.of_mean_scv ~mean:so ~scv:c2)
         ~wire:(D.Constant wire_latency) ()
     in
-    Metrics.mean_response (Machine.run ~seed ~spec ~cycles ()).Machine.metrics
+    Metrics.mean_response (Machine.run ~rng ~spec ~cycles ()).Machine.metrics
   in
-  let rows =
-    List.map
-      (fun w ->
-        let interrupt = (A.solve params ~w).A.r in
-        let polling = (A.solve ~execution:A.Polling params ~w).A.r in
-        let pp = (A.solve ~execution:A.Protocol_processor params ~w).A.r in
-        [
-          Table.Float w;
-          Table.Float interrupt;
-          Table.Float (simulate ~polling:false ~protocol_processor:false w);
-          Table.Float polling;
-          Table.Float (simulate ~polling:true ~protocol_processor:false w);
-          Table.Float pp;
-          Table.Float (simulate ~polling:false ~protocol_processor:true w);
-        ])
-      [ 0.; 50.; 100.; 200.; 500.; 1000.; 2000.; 4000. ]
-  in
-  Table.create
-    ~caption:
-      "Section 3 contrast: handler notification mechanisms — interrupt (LoPC), \
-       polling (LogP/CM-5) and protocol processor — cycle time, model beside \
-       simulator (P=32, So=200, C2=1, St=40)"
-    ~columns:
-      [ "W"; "interrupt R"; "(sim)"; "polling R"; "(sim)"; "protocol R"; "(sim)" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"notification"
+        [ 0.; 50.; 100.; 200.; 500.; 1000.; 2000.; 4000. ]
+        (fun ~rng w ->
+          let interrupt = (A.solve params ~w).A.r in
+          let polling = (A.solve ~execution:A.Polling params ~w).A.r in
+          let pp = (A.solve ~execution:A.Protocol_processor params ~w).A.r in
+          let rep_interrupt = Rng.split rng in
+          let rep_polling = Rng.split rng in
+          let rep_pp = Rng.split rng in
+          [
+            [
+              Table.Float w;
+              Table.Float interrupt;
+              Table.Float
+                (simulate ~rng:rep_interrupt ~polling:false ~protocol_processor:false w);
+              Table.Float polling;
+              Table.Float
+                (simulate ~rng:rep_polling ~polling:true ~protocol_processor:false w);
+              Table.Float pp;
+              Table.Float
+                (simulate ~rng:rep_pp ~polling:false ~protocol_processor:true w);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Section 3 contrast: handler notification mechanisms — interrupt (LoPC), \
+           polling (LogP/CM-5) and protocol processor — cycle time, model beside \
+           simulator (P=32, So=200, C2=1, St=40)"
+        ~columns:
+          [ "W"; "interrupt R"; "(sim)"; "polling R"; "(sim)"; "protocol R"; "(sim)" ];
+  }
 
-let gap_study ?(fidelity = Full) ?(seed = 42) () =
+let gap_study_plan ~fidelity ~seed =
   let so = 200. and w = 1000. and c2 = 1. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
   let cycles = sim_cycles fidelity in
-  let rows =
-    List.map
-      (fun gap ->
-        let model = Lopc.Gap.solve ~gap params ~w in
-        let spec =
-          Lopc_activemsg.Spec.all_to_all ~gap ~nodes ~work:(D.Exponential w)
-            ~handler:(D.Exponential so) ~wire:(D.Constant wire_latency) ()
-        in
-        let sim =
-          Metrics.mean_response (Machine.run ~seed ~spec ~cycles ()).Machine.metrics
-        in
-        [
-          Table.Float gap;
-          Table.Float model.Lopc.Gap.r;
-          Table.Float sim;
-          Table.Float (100. *. model.Lopc.Gap.penalty);
-          Table.Float model.Lopc.Gap.ni_utilization;
-        ])
-      [ 0.; 5.; 10.; 25.; 50.; 100.; 200.; 400. ]
-  in
-  Table.create
-    ~caption:
-      (Printf.sprintf
-         "Section 3's dropped parameter: effect of the LogP gap g (P=32, W=1000, \
-          So=200, C2=1); largest g with <5%% slowdown: %.1f cycles"
-         (Lopc.Gap.tolerable_gap params ~w))
-    ~columns:[ "g"; "model R"; "simulator R"; "penalty %"; "NI utilization" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"gap" [ 0.; 5.; 10.; 25.; 50.; 100.; 200.; 400. ]
+        (fun ~rng gap ->
+          let model = Lopc.Gap.solve ~gap params ~w in
+          let spec =
+            Lopc_activemsg.Spec.all_to_all ~gap ~nodes ~work:(D.Exponential w)
+              ~handler:(D.Exponential so) ~wire:(D.Constant wire_latency) ()
+          in
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.mean_response
+              (Machine.run ~rng:replication ~spec ~cycles ()).Machine.metrics
+          in
+          [
+            [
+              Table.Float gap;
+              Table.Float model.Lopc.Gap.r;
+              Table.Float sim;
+              Table.Float (100. *. model.Lopc.Gap.penalty);
+              Table.Float model.Lopc.Gap.ni_utilization;
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          (Printf.sprintf
+             "Section 3's dropped parameter: effect of the LogP gap g (P=32, W=1000, \
+              So=200, C2=1); largest g with <5%% slowdown: %.1f cycles"
+             (Lopc.Gap.tolerable_gap params ~w))
+        ~columns:[ "g"; "model R"; "simulator R"; "penalty %"; "NI utilization" ];
+  }
 
-let assumptions_audit ?(fidelity = Full) ?(seed = 42) () =
+let assumptions_audit_plan ~fidelity ~seed =
   let so = 200. and c2 = 0. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
-  let rows =
-    List.map
-      (fun w ->
-        let m = simulate_all_to_all ~fidelity ~seed ~w ~so ~c2 () in
-        let model = A.solve params ~w in
-        let arrival = Welford.mean (Metrics.arrival_backlog m) in
-        let steady = Metrics.avg_request_queue m +. Metrics.avg_reply_queue m in
-        [
-          Table.Float w;
-          Table.Int (Metrics.max_handler_backlog m);
-          Table.Float arrival;
-          Table.Float steady;
-          Table.Float (model.A.qq +. model.A.qy);
-        ])
-      [ 0.; 32.; 256.; 1024.; 2048. ]
-  in
-  Table.create
-    ~caption:
-      "Assumption audit (sections 2 and 4): deepest handler backlog ever seen \
-       (finite buffers hold ~8 small messages on Alewife) and the queue found by \
-       arriving messages vs the steady-state queue Bard equates it with \
-       (P=32, So=200, C2=0)"
-    ~columns:
-      [ "W"; "max backlog"; "queue at arrival (sim)"; "steady-state queue (sim)";
-        "Qq+Qy (model)" ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"assumptions" [ 0.; 32.; 256.; 1024.; 2048. ]
+        (fun ~rng w ->
+          let replication = Rng.split rng in
+          let m = simulate_all_to_all ~fidelity ~rng:replication ~w ~so ~c2 () in
+          let model = A.solve params ~w in
+          let arrival = Welford.mean (Metrics.arrival_backlog m) in
+          let steady = Metrics.avg_request_queue m +. Metrics.avg_reply_queue m in
+          [
+            [
+              Table.Float w;
+              Table.Int (Metrics.max_handler_backlog m);
+              Table.Float arrival;
+              Table.Float steady;
+              Table.Float (model.A.qq +. model.A.qy);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Assumption audit (sections 2 and 4): deepest handler backlog ever seen \
+           (finite buffers hold ~8 small messages on Alewife) and the queue found by \
+           arriving messages vs the steady-state queue Bard equates it with \
+           (P=32, So=200, C2=0)"
+        ~columns:
+          [ "W"; "max backlog"; "queue at arrival (sim)"; "steady-state queue (sim)";
+            "Qq+Qy (model)" ];
+  }
 
-let network_contention ?(fidelity = Full) ?(seed = 42) () =
+let network_contention_plan ~fidelity ~seed =
   let so = 200. and c2 = 1. in
   let params = Params.create ~c2 ~p:nodes ~st:0. ~so () in
   let cycles = sim_cycles fidelity in
-  let rows =
+  let points =
     List.concat_map
-      (fun w ->
-        List.map
-          (fun link_time ->
-            let topo =
-              Lopc_topology.Topology.create ~nodes ~per_hop:10. ~link_time ()
-            in
-            let model = Lopc.Torus.solve params ~topology:topo ~w in
-            let base =
-              Lopc_activemsg.Spec.all_to_all ~nodes ~work:(D.of_mean_scv ~mean:w ~scv:1.)
-                ~handler:(D.Exponential so) ~wire:(D.Constant 0.) ()
-            in
-            let spec = { base with Lopc_activemsg.Spec.topology = Some topo } in
-            let sim =
-              Metrics.mean_response (Machine.run ~seed ~spec ~cycles ()).Machine.metrics
-            in
+      (fun w -> List.map (fun link_time -> (w, link_time)) [ 0.; 20.; 100.; 200. ])
+      [ 1000.; 0. ]
+  in
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"network" points (fun ~rng (w, link_time) ->
+          let topo = Lopc_topology.Topology.create ~nodes ~per_hop:10. ~link_time () in
+          let model = Lopc.Torus.solve params ~topology:topo ~w in
+          let base =
+            Lopc_activemsg.Spec.all_to_all ~nodes ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+              ~handler:(D.Exponential so) ~wire:(D.Constant 0.) ()
+          in
+          let spec = { base with Lopc_activemsg.Spec.topology = Some topo } in
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.mean_response
+              (Machine.run ~rng:replication ~spec ~cycles ()).Machine.metrics
+          in
+          [
             [
               Table.Float w;
               Table.Float link_time;
@@ -520,39 +645,42 @@ let network_contention ?(fidelity = Full) ?(seed = 42) () =
               Table.Float model.Lopc.Torus.r_contention_free;
               Table.Float (100. *. model.Lopc.Torus.penalty);
               Table.Float model.Lopc.Torus.link_utilization;
-            ])
-          [ 0.; 20.; 100.; 200. ])
-      [ 1000.; 0. ]
-  in
-  Table.create
-    ~caption:
-      "Section 2's first simplification: 4x8 torus with contended links vs a \
-       contention-free network of equal mean path (per_hop=10, So=200, C2=1). \
-       'penalty' is the modeling error of assuming no link contention."
-    ~columns:
-      [ "W"; "link time"; "torus model R"; "simulator R"; "contention-free R";
-        "penalty %"; "link util" ]
-    rows
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Section 2's first simplification: 4x8 torus with contended links vs a \
+           contention-free network of equal mean path (per_hop=10, So=200, C2=1). \
+           'penalty' is the modeling error of assuming no link contention."
+        ~columns:
+          [ "W"; "link time"; "torus model R"; "simulator R"; "contention-free R";
+            "penalty %"; "link util" ];
+  }
 
-let exact_comparison ?(fidelity = Full) ?(seed = 42) () =
+let exact_comparison_plan ~fidelity ~seed =
   let so = 200. and st = 40. in
   let cycles = sim_cycles fidelity * 2 in
-  let rows =
-    List.concat_map
-      (fun p ->
-        List.map
-          (fun w ->
-            let exact = Lopc_markov.Exact_machine.all_to_all ~p ~w ~so ~st () in
-            let spec =
-              Lopc_activemsg.Spec.all_to_all ~nodes:p ~work:(D.Exponential w)
-                ~handler:(D.Exponential so) ~wire:(D.Exponential st) ()
-            in
-            let sim =
-              Metrics.mean_response (Machine.run ~seed ~spec ~cycles ()).Machine.metrics
-            in
-            let params = Params.create ~c2:1. ~p ~st ~so () in
-            let model = (A.solve params ~w).A.r in
-            let exact_r = exact.Lopc_markov.Exact_machine.cycle_time in
+  let points =
+    List.concat_map (fun p -> List.map (fun w -> (p, w)) [ 1.; 200.; 1000. ]) [ 2; 3; 4 ]
+  in
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"exact" points (fun ~rng (p, w) ->
+          let exact = Lopc_markov.Exact_machine.all_to_all ~p ~w ~so ~st () in
+          let spec =
+            Lopc_activemsg.Spec.all_to_all ~nodes:p ~work:(D.Exponential w)
+              ~handler:(D.Exponential so) ~wire:(D.Exponential st) ()
+          in
+          let replication = Rng.split rng in
+          let sim =
+            Metrics.mean_response
+              (Machine.run ~rng:replication ~spec ~cycles ()).Machine.metrics
+          in
+          let params = Params.create ~c2:1. ~p ~st ~so () in
+          let model = (A.solve params ~w).A.r in
+          let exact_r = exact.Lopc_markov.Exact_machine.cycle_time in
+          [
             [
               Table.Int p;
               Table.Float w;
@@ -562,21 +690,20 @@ let exact_comparison ?(fidelity = Full) ?(seed = 42) () =
               Table.Float (100. *. (sim -. exact_r) /. exact_r);
               Table.Float model;
               Table.Float (100. *. (model -. exact_r) /. exact_r);
-            ])
-          [ 1.; 200.; 1000. ])
-      [ 2; 3; 4 ]
-  in
-  Table.create
-    ~caption:
-      "Exact CTMC vs simulator vs LoPC on small machines (exponential W/So/St, \
-       So=200, St=40): the simulator column checks the simulator, the model \
-       column is LoPC's true approximation error, free of sampling noise"
-    ~columns:
-      [ "P"; "W"; "states"; "exact R"; "simulator R"; "sim err %"; "LoPC R";
-        "LoPC err %" ]
-    rows
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Exact CTMC vs simulator vs LoPC on small machines (exponential W/So/St, \
+           So=200, St=40): the simulator column checks the simulator, the model \
+           column is LoPC's true approximation error, free of sampling noise"
+        ~columns:
+          [ "P"; "W"; "states"; "exact R"; "simulator R"; "sim err %"; "LoPC R";
+            "LoPC err %" ];
+  }
 
-let fault_sweep ?(fidelity = Full) ?(seed = 42) () =
+let fault_sweep_plan ~fidelity ~seed =
   let p = 16 and w = 1000. and so = 200. and c2 = 1. in
   let st = wire_latency in
   let timeout = 20_000. and max_tries = 10 in
@@ -591,74 +718,126 @@ let fault_sweep ?(fidelity = Full) ?(seed = 42) () =
       (0.02, 0.05, 0.); (0.02, 0., 0.1);
     ]
   in
-  let rows =
-    List.map
-      (fun (drop, duplicate, delay_epsilon) ->
-        let model =
-          Lopc.Fault_model.solve
-            (Lopc.Fault_model.config ~drop ~duplicate ~delay_epsilon
-               ~spike_mean ~max_tries ~timeout ())
-            params ~w
-        in
-        let fault =
-          Lopc_activemsg.Fault.create ~drop ~duplicate ~delay_epsilon
-            ~delay_spike:(D.Exponential spike_mean) ~max_tries ~timeout ()
-        in
-        let spec =
-          Pattern.to_spec ~fault ~nodes:p ~work:(D.of_mean_scv ~mean:w ~scv:1.)
-            ~handler:(D.of_mean_scv ~mean:so ~scv:c2) ~wire:(D.Constant st)
-            Pattern.All_to_all
-        in
-        let m =
-          (Machine.run ~seed ~spec ~cycles:(sim_cycles fidelity / 2) ()).Machine.metrics
-        in
-        let sim = Metrics.mean_response m in
-        let finished = m.Metrics.cycles + m.Metrics.failed_cycles in
-        [
-          Table.Float drop;
-          Table.Float duplicate;
-          Table.Float delay_epsilon;
-          Table.Float model.Lopc.Fault_model.r;
-          Table.Float sim;
-          Table.Float (100. *. (model.Lopc.Fault_model.r -. sim) /. sim);
-          Table.Float model.Lopc.Fault_model.tries;
-          Table.Float (Metrics.mean_tries m);
-          Table.Float (Float.of_int m.Metrics.retransmits /. Float.of_int finished);
-          Table.Float (Metrics.goodput m /. Metrics.offered_load m);
-        ])
-      scenarios
-  in
-  Table.create
-    ~caption:
-      "Fault sweep: faulty all-to-all cycle time, analytical fault model vs \
-       simulator (P=16, W=1000, So=200, C2=1, St=40, timeout=20000, B=10; \
-       spike = Exp(10 St))"
-    ~columns:
-      [
-        "drop"; "dup"; "eps"; "model R"; "sim R"; "err %"; "model tries";
-        "sim tries"; "retrans/cycle"; "goodput/offered";
-      ]
-    rows
+  {
+    tasks =
+      point_tasks ~seed ~artifact:"fault" scenarios
+        (fun ~rng (drop, duplicate, delay_epsilon) ->
+          let model =
+            Lopc.Fault_model.solve
+              (Lopc.Fault_model.config ~drop ~duplicate ~delay_epsilon ~spike_mean
+                 ~max_tries ~timeout ())
+              params ~w
+          in
+          let fault =
+            Lopc_activemsg.Fault.create ~drop ~duplicate ~delay_epsilon
+              ~delay_spike:(D.Exponential spike_mean) ~max_tries ~timeout ()
+          in
+          let spec =
+            Pattern.to_spec ~fault ~nodes:p ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+              ~handler:(D.of_mean_scv ~mean:so ~scv:c2) ~wire:(D.Constant st)
+              Pattern.All_to_all
+          in
+          let replication = Rng.split rng in
+          let m =
+            (Machine.run ~rng:replication ~spec ~cycles:(sim_cycles fidelity / 2) ())
+              .Machine.metrics
+          in
+          let sim = Metrics.mean_response m in
+          let finished = m.Metrics.cycles + m.Metrics.failed_cycles in
+          [
+            [
+              Table.Float drop;
+              Table.Float duplicate;
+              Table.Float delay_epsilon;
+              Table.Float model.Lopc.Fault_model.r;
+              Table.Float sim;
+              Table.Float (100. *. (model.Lopc.Fault_model.r -. sim) /. sim);
+              Table.Float model.Lopc.Fault_model.tries;
+              Table.Float (Metrics.mean_tries m);
+              Table.Float (Float.of_int m.Metrics.retransmits /. Float.of_int finished);
+              Table.Float (Metrics.goodput m /. Metrics.offered_load m);
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Fault sweep: faulty all-to-all cycle time, analytical fault model vs \
+           simulator (P=16, W=1000, So=200, C2=1, St=40, timeout=20000, B=10; \
+           spike = Exp(10 St))"
+        ~columns:
+          [
+            "drop"; "dup"; "eps"; "model R"; "sim R"; "err %"; "model tries";
+            "sim tries"; "retrans/cycle"; "goodput/offered";
+          ];
+  }
 
-let all ?(fidelity = Full) ?(seed = 42) () =
+(* --- public API ----------------------------------------------------------- *)
+
+let plans ?(fidelity = Full) ?(seed = 42) () =
   [
-    ("table3.1", table3_1 ());
-    ("fig5.1", fig5_1 ());
-    ("fig5.2", fig5_2 ~fidelity ~seed ());
-    ("fig5.3", fig5_3 ~fidelity ~seed ());
-    ("table5.3", table5_3 ~fidelity ~seed ());
-    ("fig6.2", fig6_2 ~fidelity ~seed ());
-    ("ablate.arrival", ablation_arrival_theorem ());
-    ("ablate.priority", ablation_priority ());
-    ("ablate.scv", ablation_scv_correction ~fidelity ~seed ());
-    ("ablate.solvers", ablation_solvers ());
-    ("shared-memory", shared_memory_comparison ~fidelity ~seed ());
-    ("windowed", windowed_speedup ~fidelity ~seed ());
-    ("notification", notification_modes ~fidelity ~seed ());
-    ("ablate.multiserver", ablation_multiserver ());
-    ("gap", gap_study ~fidelity ~seed ());
-    ("assumptions", assumptions_audit ~fidelity ~seed ());
-    ("network", network_contention ~fidelity ~seed ());
-    ("exact", exact_comparison ~fidelity ~seed ());
-    ("fault", fault_sweep ~fidelity ~seed ());
+    ("table3.1", table3_1_plan ());
+    ("fig5.1", fig5_1_plan ());
+    ("fig5.2", fig5_2_plan ~fidelity ~seed);
+    ("fig5.3", fig5_3_plan ~fidelity ~seed);
+    ("table5.3", table5_3_plan ~fidelity ~seed);
+    ("fig6.2", fig6_2_plan ~fidelity ~seed);
+    ("ablate.arrival", ablation_arrival_theorem_plan ());
+    ("ablate.priority", ablation_priority_plan ());
+    ("ablate.scv", ablation_scv_correction_plan ~fidelity ~seed);
+    ("ablate.solvers", ablation_solvers_plan ());
+    ("shared-memory", shared_memory_comparison_plan ~fidelity ~seed);
+    ("windowed", windowed_speedup_plan ~fidelity ~seed);
+    ("notification", notification_modes_plan ~fidelity ~seed);
+    ("ablate.multiserver", ablation_multiserver_plan ());
+    ("gap", gap_study_plan ~fidelity ~seed);
+    ("assumptions", assumptions_audit_plan ~fidelity ~seed);
+    ("network", network_contention_plan ~fidelity ~seed);
+    ("exact", exact_comparison_plan ~fidelity ~seed);
+    ("fault", fault_sweep_plan ~fidelity ~seed);
   ]
+
+let table3_1 () = run_plan (table3_1_plan ())
+let fig5_1 () = run_plan (fig5_1_plan ())
+let fig5_2 ?(fidelity = Full) ?(seed = 42) () = run_plan (fig5_2_plan ~fidelity ~seed)
+let fig5_3 ?(fidelity = Full) ?(seed = 42) () = run_plan (fig5_3_plan ~fidelity ~seed)
+
+let table5_3 ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (table5_3_plan ~fidelity ~seed)
+
+let fig6_2 ?(fidelity = Full) ?(seed = 42) () = run_plan (fig6_2_plan ~fidelity ~seed)
+let ablation_arrival_theorem () = run_plan (ablation_arrival_theorem_plan ())
+let ablation_priority () = run_plan (ablation_priority_plan ())
+
+let ablation_scv_correction ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (ablation_scv_correction_plan ~fidelity ~seed)
+
+let ablation_solvers () = run_plan (ablation_solvers_plan ())
+
+let shared_memory_comparison ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (shared_memory_comparison_plan ~fidelity ~seed)
+
+let windowed_speedup ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (windowed_speedup_plan ~fidelity ~seed)
+
+let ablation_multiserver () = run_plan (ablation_multiserver_plan ())
+
+let notification_modes ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (notification_modes_plan ~fidelity ~seed)
+
+let gap_study ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (gap_study_plan ~fidelity ~seed)
+
+let assumptions_audit ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (assumptions_audit_plan ~fidelity ~seed)
+
+let network_contention ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (network_contention_plan ~fidelity ~seed)
+
+let exact_comparison ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (exact_comparison_plan ~fidelity ~seed)
+
+let fault_sweep ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (fault_sweep_plan ~fidelity ~seed)
+
+let all ?(fidelity = Full) ?(seed = 42) ?pool () =
+  List.map (fun (name, plan) -> (name, run_plan ?pool plan)) (plans ~fidelity ~seed ())

@@ -10,13 +10,45 @@
       chunk is [W = 1000] and handlers are exponential.
 
     Simulated series use [sim_cycles] measured compute/request cycles per
-    point after warm-up; [`Quick] mode shrinks this for fast smoke runs. *)
+    point after warm-up; [`Quick] mode shrinks this for fast smoke runs.
+
+    {1 Parallel execution}
+
+    Each artifact is internally a {!plan}: an index-ordered array of
+    independent point tasks plus an ordered merge
+    ({!Table.of_row_groups}). PRNG streams are derived at plan-build
+    time, keyed on (seed, artifact name, point index, replication index)
+    — never on scheduling order — so running the tasks on a
+    {!Parallel.t} pool produces tables byte-identical to the serial
+    run. *)
 
 type fidelity = Quick | Full
 
 val sim_cycles : fidelity -> int
 (** Measured cycles per simulated point: 8_000 for [Quick], 60_000 for
     [Full]. *)
+
+type plan = {
+  tasks : (unit -> Table.cell list list) array;
+      (** One closure per sweep point, each owning its pre-split PRNG
+          streams. Independent: safe to run on separate domains. *)
+  assemble : Table.cell list list array -> Table.t;
+      (** Ordered merge: element [i] must be the rows of [tasks.(i)]. *)
+}
+(** A single-shot recipe for one artifact. Plans capture mutable PRNG
+    streams, so each plan value must be executed at most once; build a
+    fresh plan (via {!plans}) for every run. *)
+
+val task_count : plan -> int
+
+val run_plan : ?pool:Parallel.t -> plan -> Table.t
+(** Runs the plan's tasks — serially in index order without [pool], on
+    the pool's domains otherwise — and assembles the table. Both paths
+    return byte-identical tables. *)
+
+val plans : ?fidelity:fidelity -> ?seed:int -> unit -> (string * plan) list
+(** A fresh plan per artifact, keyed by harness name, in the canonical
+    reproduction order (the same keys as {!all}). *)
 
 val table3_1 : unit -> Table.t
 (** Table 3.1: the LoPC ↔ LogP parameter correspondence. *)
@@ -125,5 +157,8 @@ val fault_sweep : ?fidelity:fidelity -> ?seed:int -> unit -> Table.t
     inflation (model vs measured tries), retransmissions per cycle, and
     the goodput/offered-load ratio. *)
 
-val all : ?fidelity:fidelity -> ?seed:int -> unit -> (string * Table.t) list
-(** Every artifact above, keyed by its harness name (["fig5.1"], ...). *)
+val all :
+  ?fidelity:fidelity -> ?seed:int -> ?pool:Parallel.t -> unit -> (string * Table.t) list
+(** Every artifact above, keyed by its harness name (["fig5.1"], ...).
+    With [pool], each artifact's point tasks are fanned across the
+    pool's domains; the output is byte-identical either way. *)

@@ -13,6 +13,13 @@ let create ~caption ~columns rows =
     rows;
   { caption; columns; rows }
 
+let of_row_groups ~caption ~columns groups =
+  (* Ordered merge used by the parallel reproduction engine: group [i] holds
+     the rows produced by task [i], whatever worker computed it and in
+     whatever order the workers finished; concatenating by index makes the
+     merged table a pure function of the task array. *)
+  create ~caption ~columns (List.concat (Array.to_list groups))
+
 let cell_to_string = function
   | Float f -> Printf.sprintf "%.6g" f
   | Int i -> string_of_int i

@@ -20,6 +20,13 @@ val create : caption:string -> columns:string list -> cell list list -> t
 (** @raise Invalid_argument if any row length differs from the header
     length. *)
 
+val of_row_groups :
+  caption:string -> columns:string list -> cell list list array -> t
+(** [of_row_groups ~caption ~columns groups] merges per-task row groups in
+    index order — the deterministic merge step of a parallel reproduction
+    run ([groups.(i)] are the rows of task [i]).
+    @raise Invalid_argument as {!create}. *)
+
 val pp : Format.formatter -> t -> unit
 (** Aligned plain-text rendering with the caption on top. *)
 

@@ -59,6 +59,58 @@ let test_heap_rejects_nan () =
   Alcotest.check_raises "nan" (Invalid_argument "Event_heap.push: non-finite time")
     (fun () -> Heap.push h ~time:Float.nan ())
 
+(* Regression: a popped entry must be collectable immediately. Before the
+   fix, [pop] left entries reachable through vacated slots above [size] and
+   [clear] kept the whole backing array, so long simulations retained dead
+   payload closures. Probed through a weak array so the test sees exactly
+   what the GC sees. *)
+let test_heap_releases_popped_payloads () =
+  let h = Heap.create () in
+  let n = 64 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set weak i (Some payload);
+    Heap.push h ~time:(Float.of_int i) payload
+  done;
+  (* Pop half: those payloads must die while the rest stay reachable. *)
+  for _ = 1 to n / 2 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to (n / 2) - 1 do
+    if Weak.check weak i then
+      Alcotest.failf "popped payload %d still reachable from the heap" i
+  done;
+  for i = n / 2 to n - 1 do
+    if not (Weak.check weak i) then Alcotest.failf "live payload %d was lost" i
+  done;
+  (* Pop the rest: the backing array must not keep anything alive. *)
+  for _ = 1 to n / 2 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    if Weak.check weak i then
+      Alcotest.failf "payload %d survived a full drain" i
+  done
+
+let test_heap_clear_releases_payloads () =
+  let h = Heap.create () in
+  let weak = Weak.create 8 in
+  for i = 0 to 7 do
+    let payload = ref i in
+    Weak.set weak i (Some payload);
+    Heap.push h ~time:(Float.of_int i) payload
+  done;
+  Heap.clear h;
+  Gc.full_major ();
+  for i = 0 to 7 do
+    if Weak.check weak i then
+      Alcotest.failf "payload %d survived clear" i
+  done;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
 let test_engine_order_and_clock () =
   let e = Engine.create () in
   let log = ref [] in
@@ -181,6 +233,10 @@ let suite =
     Alcotest.test_case "heap interleaved push/pop" `Quick test_heap_interleaved;
     Alcotest.test_case "heap random stress" `Quick test_heap_many_random;
     Alcotest.test_case "heap rejects non-finite time" `Quick test_heap_rejects_nan;
+    Alcotest.test_case "heap releases popped payloads" `Quick
+      test_heap_releases_popped_payloads;
+    Alcotest.test_case "heap clear releases payloads" `Quick
+      test_heap_clear_releases_payloads;
     Alcotest.test_case "engine ordering and clock" `Quick test_engine_order_and_clock;
     Alcotest.test_case "engine cascading events" `Quick test_engine_cascading;
     Alcotest.test_case "engine cancellation" `Quick test_engine_cancel;

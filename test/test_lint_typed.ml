@@ -213,6 +213,77 @@ let test_stream_loop_use_fires () =
   in
   hits "a loop body multiplies the use" [ ("rng-stream-discipline", 8) ] (analyze src)
 
+(* --- parallel-rng-capture ------------------------------------------------ *)
+
+let parallel_module =
+  "module Parallel = struct\n"
+  ^ "  type t = int\n"
+  ^ "  let run (_ : t) (tasks : (unit -> 'a) array) =\n"
+  ^ "    Array.map (fun f -> f ()) tasks\n"
+  ^ "end\n"
+
+let rng_array_module =
+  (* rng_module plus split_n, the sanctioned per-task carrier. *)
+  rng_module ^ "let split_n rng n = Array.init n (fun _ -> Rng.split rng)\n"
+
+let test_par_capture_fires () =
+  let src =
+    rng_module ^ parallel_module
+    ^ "let noisy pool rng =\n"
+    ^ "  Parallel.run pool [| (fun () -> Rng.float rng) |]"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "task drawing from a captured generator" [ ("parallel-rng-capture", 13) ] [ f ];
+    check_contains "stream is named" f "`rng`";
+    check_contains "scheduling is the reason" f "scheduling"
+  | fs -> Alcotest.failf "expected one capture finding, got %d" (List.length fs)
+
+let test_par_capture_split_inside_fires () =
+  (* Splitting inside the task is just as order-dependent: the split
+     itself advances the shared parent. *)
+  let src =
+    rng_module ^ parallel_module
+    ^ "let noisy pool master =\n"
+    ^ "  Parallel.run pool [| (fun () -> let s = Rng.split master in Rng.float s) |]"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "task splitting a captured generator" [ ("parallel-rng-capture", 13) ] [ f ];
+    check_contains "the captured parent is named" f "`master`"
+  | fs -> Alcotest.failf "expected one capture finding, got %d" (List.length fs)
+
+let test_par_capture_presplit_array_silent () =
+  let src =
+    rng_array_module ^ parallel_module
+    ^ "let quiet pool rng =\n"
+    ^ "  let streams = split_n rng 4 in\n"
+    ^ "  Parallel.run pool (Array.init 4 (fun i -> fun () -> Rng.float streams.(i)))"
+  in
+  hits "pre-split stream array is the sanctioned pattern" [] (analyze src)
+
+let test_par_capture_construction_time_silent () =
+  (* A draw outside any lambda happens serially while the task array is
+     built, before the pool sees it. *)
+  let src =
+    rng_module ^ parallel_module
+    ^ "let quiet pool rng =\n"
+    ^ "  let x = Rng.float rng in\n"
+    ^ "  Parallel.run pool [| (fun () -> x +. 1.) |]"
+  in
+  hits "construction-time draws are serial" [] (analyze src)
+
+let test_par_capture_outside_runner_silent () =
+  (* The same capture shape anywhere other than a Parallel.run/map
+     argument is ordinary single-domain code. *)
+  let src =
+    rng_module
+    ^ "let quiet rng =\n"
+    ^ "  let f = fun () -> Rng.float rng in\n"
+    ^ "  f () +. f ()"
+  in
+  hits "closures over streams are fine off the pool" [] (analyze src)
+
 (* --- suppression of typed findings -------------------------------------- *)
 
 (* Typed findings are filtered by the [@lint.allow] regions of the source
@@ -262,8 +333,8 @@ let test_json_stable_across_runs () =
 
 let test_typed_catalogue () =
   Alcotest.(check (list string))
-    "the three typed rules, in catalogue order"
-    [ "determinism-taint"; "exn-escape"; "rng-stream-discipline" ]
+    "the four typed rules, in catalogue order"
+    [ "determinism-taint"; "exn-escape"; "rng-stream-discipline"; "parallel-rng-capture" ]
     (List.map (fun (id, _, _) -> id) Typed_driver.catalogue)
 
 let suite =
@@ -294,6 +365,15 @@ let suite =
     Alcotest.test_case "stream: branch arms" `Quick
       test_stream_branch_arms_are_alternatives;
     Alcotest.test_case "stream: loop use fires" `Quick test_stream_loop_use_fires;
+    Alcotest.test_case "par: captured draw fires" `Quick test_par_capture_fires;
+    Alcotest.test_case "par: captured split fires" `Quick
+      test_par_capture_split_inside_fires;
+    Alcotest.test_case "par: pre-split array silent" `Quick
+      test_par_capture_presplit_array_silent;
+    Alcotest.test_case "par: construction-time silent" `Quick
+      test_par_capture_construction_time_silent;
+    Alcotest.test_case "par: off-pool closure silent" `Quick
+      test_par_capture_outside_runner_silent;
     Alcotest.test_case "typed suppression" `Quick test_typed_suppression;
     Alcotest.test_case "json stable across runs" `Quick test_json_stable_across_runs;
     Alcotest.test_case "typed catalogue" `Quick test_typed_catalogue;

@@ -16,6 +16,7 @@ let () =
       ("lopc", Test_lopc.suite);
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);
+      ("parallel", Test_parallel.suite);
       ("lint", Test_lint.suite);
       ("lint_typed", Test_lint_typed.suite);
     ]
