@@ -6,6 +6,8 @@
      main.exe --jobs N        fan replications across N domains (default: all cores)
      main.exe fig5.2 fig6.2   reproduce selected artifacts
      main.exe --csv DIR       additionally write each table as DIR/<name>.csv
+     main.exe --trace-dir DIR write per-point Chrome traces for the simulated
+                              artifacts (fig5.2, fig6.2, fault) into DIR
      main.exe micro           run the Bechamel micro-benchmarks
      main.exe --list          list artifact names
 
@@ -193,6 +195,7 @@ type options = {
   quick : bool;
   list : bool;
   csv_dir : string option;
+  trace_dir : string option;
   jobs : int option;
   selected : string list;
 }
@@ -200,7 +203,8 @@ type options = {
 let usage_error fmt =
   Printf.ksprintf
     (fun msg ->
-      Printf.eprintf "%s\nusage: %s [--quick] [--jobs N] [--csv DIR] [--list] [ARTIFACT...]\n"
+      Printf.eprintf
+        "%s\nusage: %s [--quick] [--jobs N] [--csv DIR] [--trace-dir DIR] [--list] [ARTIFACT...]\n"
         msg Sys.argv.(0);
       exit 2)
     fmt
@@ -215,6 +219,10 @@ let parse_args args =
     | "--csv" :: dir :: rest when not (is_flag dir) ->
       go { opts with csv_dir = Some dir } rest
     | [ "--csv" ] | "--csv" :: _ -> usage_error "--csv requires a directory argument"
+    | "--trace-dir" :: dir :: rest when not (is_flag dir) ->
+      go { opts with trace_dir = Some dir } rest
+    | [ "--trace-dir" ] | "--trace-dir" :: _ ->
+      usage_error "--trace-dir requires a directory argument"
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n >= 1 -> go { opts with jobs = Some n } rest
@@ -223,7 +231,16 @@ let parse_args args =
     | flag :: _ when is_flag flag -> usage_error "unknown flag %S" flag
     | name :: rest -> go { opts with selected = name :: opts.selected } rest
   in
-  go { quick = false; list = false; csv_dir = None; jobs = None; selected = [] } args
+  go
+    {
+      quick = false;
+      list = false;
+      csv_dir = None;
+      trace_dir = None;
+      jobs = None;
+      selected = [];
+    }
+    args
 
 let artifact_names () = List.map fst (Experiments.plans ())
 
@@ -234,9 +251,12 @@ let timed f =
 
 let main () =
   let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
-  (match opts.csv_dir with
-  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
-  | Some _ | None -> ());
+  let ensure_dir = function
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | Some _ | None -> ()
+  in
+  ensure_dir opts.csv_dir;
+  ensure_dir opts.trace_dir;
   let fidelity = if opts.quick then Experiments.Quick else Experiments.Full in
   if opts.list then List.iter print_endline ("micro" :: artifact_names ())
   else begin
@@ -255,7 +275,7 @@ let main () =
             Printf.eprintf "[timing] %-20s %4d tasks  %8.2fs\n%!" name
               (Experiments.task_count plan) seconds;
             (name, seconds))
-          (Experiments.plans ~fidelity ())
+          (Experiments.plans ~fidelity ?trace_dir:opts.trace_dir ())
       in
       let wall_s = Unix.gettimeofday () -. t0 in
       let micro = micro_estimates () in
@@ -275,7 +295,10 @@ let main () =
           else
             (* Fresh plan per selection: plans capture mutable PRNG
                streams and are single-shot. *)
-            match List.assoc_opt name (Experiments.plans ~fidelity ()) with
+            match
+              List.assoc_opt name
+                (Experiments.plans ~fidelity ?trace_dir:opts.trace_dir ())
+            with
             | Some plan ->
               let table, seconds =
                 timed (fun () -> Experiments.run_plan ~pool plan)

@@ -27,6 +27,8 @@ module Machine = Lopc_activemsg.Machine
 module Metrics = Lopc_activemsg.Metrics
 module Fault = Lopc_activemsg.Fault
 module Welford = Lopc_stats.Welford
+module Recorder = Lopc_obs.Recorder
+module Sim_probe = Lopc_obs.Sim_probe
 
 (* --- shared argument definitions ------------------------------------------ *)
 
@@ -337,8 +339,8 @@ let predict_cmd =
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run p st so c2 w pp polling pattern seed cycles drop duplicate delay_epsilon
-      spike_mean timeout backoff retries =
+  let run p st so c2 w pp polling pattern seed cycles trace drop duplicate
+      delay_epsilon spike_mean timeout backoff retries =
     match parse_pattern ~nodes:p pattern with
     | `Error _ as e -> e
     | `Ok pat -> (
@@ -355,8 +357,21 @@ let simulate_cmd =
             ~handler:(D.of_mean_scv ~mean:so ~scv:c2)
             ~wire:(D.Constant st) pat
         in
-        let r = Machine.run ~seed ~spec ~cycles () in
+        let recorder, obs =
+          match trace with
+          | None -> (None, None)
+          | Some _ ->
+            let recorder = Recorder.create () in
+            (Some recorder, Some (Sim_probe.create ~recorder ~nodes:p ()))
+        in
+        let r = Machine.run ~seed ~spec ~cycles ?obs () in
         let m = r.Machine.metrics in
+        (match (trace, recorder) with
+        | Some path, Some recorder ->
+          Recorder.write_file recorder path;
+          Format.printf "trace written to %s (%d events, %d dropped)@." path
+            (Recorder.length recorder) (Recorder.dropped recorder)
+        | _ -> ());
         Format.printf "simulated %s: P=%d W=%g So=%g St=%g C2=%g seed=%d@."
           (Pattern.description pat) p w so st c2 seed;
         Format.printf "  measured cycles     = %d (%d events, final time %.0f)@."
@@ -392,12 +407,23 @@ let simulate_cmd =
         `Ok ()
       with Invalid_argument msg -> `Error (false, msg)))
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured trace of the run to $(docv): Chrome trace_event \
+             JSON when $(docv) ends in .json (load in chrome://tracing or \
+             Perfetto), a compact text format otherwise. Timestamps are \
+             simulated cycles; tracing never perturbs the simulation.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the event-driven simulator")
     Term.(
       ret
         (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
-        $ pattern_arg $ seed_arg $ cycles_arg $ drop_arg $ duplicate_arg
+        $ pattern_arg $ seed_arg $ cycles_arg $ trace_arg $ drop_arg $ duplicate_arg
         $ delay_epsilon_arg $ spike_mean_arg $ timeout_arg $ backoff_arg $ retries_arg))
 
 (* --- validate ---------------------------------------------------------------- *)

@@ -5,6 +5,7 @@ module Distribution = Lopc_dist.Distribution
 module Engine = Lopc_eventsim.Engine
 module Time_average = Lopc_stats.Time_average
 module Welford = Lopc_stats.Welford
+module Sim_probe = Lopc_obs.Sim_probe
 
 type result = { metrics : Metrics.t; final_time : float; events : int }
 
@@ -98,7 +99,12 @@ type machine = {
      draws as a fault-free run — the replay bit-identity the tests rely
      on. Empty when [spec.fault = None]. *)
   fault_rngs : Rng.t array;
+  (* Observability probe; [None] keeps the hot path to an option match. *)
+  obs : Sim_probe.t option;
 }
+
+(* Run [f] on the probe, when one is attached. *)
+let obs_event m f = match m.obs with None -> () | Some o -> f o
 
 let check_hop m hop =
   if hop < 0 || hop >= m.spec.Spec.nodes then
@@ -109,7 +115,9 @@ let check_hop m hop =
 (* --- signal helpers ----------------------------------------------------- *)
 
 let set_thread_running m node v =
-  Time_average.update m.metrics.Metrics.busy_thread.(node.id) ~now:(Engine.now m.engine) v
+  let now = Engine.now m.engine in
+  Time_average.update m.metrics.Metrics.busy_thread.(node.id) ~now v;
+  obs_event m (fun o -> Sim_probe.thread_running o ~node:node.id ~now (v > 0.5))
 
 let queue_signal m node kind delta =
   let arr =
@@ -223,7 +231,9 @@ and send m ~src ~cycle ~kind ~remaining ~dest ~seq =
       if Rng.bernoulli frng f.Fault.drop then begin
         if m.measuring then
           m.metrics.Metrics.dropped_messages <-
-            m.metrics.Metrics.dropped_messages + 1
+            m.metrics.Metrics.dropped_messages + 1;
+        obs_event m (fun o ->
+            Sim_probe.fault_event o ~node:src.id ~now:(Engine.now m.engine) "drop")
       end
       else begin
         let spiked =
@@ -313,7 +323,8 @@ and arrival m node msg =
     let now = Engine.now m.engine in
     if Fault.is_crashed f ~node:node.id ~now then begin
       if m.measuring then
-        m.metrics.Metrics.dropped_messages <- m.metrics.Metrics.dropped_messages + 1
+        m.metrics.Metrics.dropped_messages <- m.metrics.Metrics.dropped_messages + 1;
+      obs_event m (fun o -> Sim_probe.fault_event o ~node:node.id ~now "drop")
     end
     else begin
       match msg.kind with
@@ -323,7 +334,8 @@ and arrival m node msg =
         | Some last when msg.seq <= last ->
           if m.measuring then
             m.metrics.Metrics.duplicate_deliveries <-
-              m.metrics.Metrics.duplicate_deliveries + 1
+              m.metrics.Metrics.duplicate_deliveries + 1;
+          obs_event m (fun o -> Sim_probe.fault_event o ~node:node.id ~now "duplicate")
         | Some _ | None -> Hashtbl.replace node.seen origin msg.seq);
         deliver m node msg
       | Reply -> begin
@@ -340,7 +352,8 @@ and arrival m node msg =
           deliver m node msg
         | Some _ | None ->
           if m.measuring then
-            m.metrics.Metrics.stale_replies <- m.metrics.Metrics.stale_replies + 1
+            m.metrics.Metrics.stale_replies <- m.metrics.Metrics.stale_replies + 1;
+          obs_event m (fun o -> Sim_probe.fault_event o ~node:node.id ~now "stale")
       end
     end
 
@@ -356,6 +369,9 @@ and deliver m node msg =
       m.metrics.Metrics.max_backlog <- depth
   end;
   Queue.push msg node.queue;
+  obs_event m (fun o ->
+      Sim_probe.queue_depth o ~node:node.id ~now:msg.arrived ~arrival:true
+        (Queue.length node.queue + if node.busy then 1 else 0));
   try_dispatch m node
 
 (* Start the next queued handler if the handler resource is idle,
@@ -381,6 +397,9 @@ and try_dispatch m node =
     let msg = Queue.pop node.queue in
     node.busy <- true;
     busy_signal m node msg.kind 1.;
+    obs_event m (fun o ->
+        Sim_probe.handler_begin o ~node:node.id ~now
+          ~reply:(match msg.kind with Reply -> true | Request -> false));
     let dist =
       match msg.kind with
       | Request -> m.spec.Spec.handler
@@ -401,6 +420,11 @@ and handler_done m node msg =
   node.busy <- false;
   busy_signal m node msg.kind 0.;
   queue_signal m node msg.kind (-1.);
+  obs_event m (fun o ->
+      Sim_probe.handler_end o ~node:node.id ~now
+        ~reply:(match msg.kind with Reply -> true | Request -> false);
+      Sim_probe.queue_depth o ~node:node.id ~now ~arrival:false
+        (Queue.length node.queue));
   (match msg.kind with
   | Request -> begin
     msg.cycle.rq_total <- msg.cycle.rq_total +. (now -. msg.arrived);
@@ -435,6 +459,9 @@ and request_timeout m node p =
           m.metrics.Metrics.retransmits <- m.metrics.Metrics.retransmits + 1;
           m.metrics.Metrics.request_sends <- m.metrics.Metrics.request_sends + 1
         end;
+        obs_event m (fun o ->
+            Sim_probe.fault_event o ~node:node.id ~now:p.last_sent
+              ~value:(Float.of_int p.tries) "retransmit");
         let delay = Fault.timeout_for f ~try_:p.tries m.fault_rngs.(node.id) in
         p.timer <-
           Some (Engine.schedule m.engine ~delay (fun _ -> request_timeout m node p));
@@ -450,6 +477,9 @@ and request_timeout m node p =
 and give_up m node p =
   node.pending <- None;
   node.outstanding <- node.outstanding - 1;
+  obs_event m (fun o ->
+      Sim_probe.fault_event o ~node:node.id ~now:(Engine.now m.engine)
+        ~value:(Float.of_int p.tries) "giveup");
   if m.measuring then begin
     m.metrics.Metrics.measure_end <- Engine.now m.engine;
     m.metrics.Metrics.failed_cycles <- m.metrics.Metrics.failed_cycles + 1;
@@ -477,6 +507,10 @@ and complete_cycle m node msg =
       if m.measuring then
         Welford.add m.metrics.Metrics.tries_per_cycle (Float.of_int p.tries)
     | Some _ | None -> ()));
+  obs_event m (fun o ->
+      Sim_probe.cycle_completed o ~node:node.id ~now
+        ~rw:(cycle.t_sent -. cycle.t_start) ~wire:cycle.wire_total
+        ~rq:cycle.rq_total ~ry:(now -. msg.arrived) ~total:(now -. cycle.t_start));
   (match m.on_cycle with
   | None -> ()
   | Some observer ->
@@ -544,7 +578,7 @@ and finish_cycle m node =
 
 (* Build the machine, schedule the initial cycles and run the warm-up
    phase; returns the machine plus a guarded single-step function. *)
-let prepare ?on_cycle ?rng ~seed ~warmup ~max_events ~spec () =
+let prepare ?on_cycle ?rng ?obs ~seed ~warmup ~max_events ~spec () =
   (match Spec.validate spec with
   | Ok _ -> ()
   | Error reason -> invalid_arg ("Machine: " ^ reason));
@@ -590,9 +624,18 @@ let prepare ?on_cycle ?rng ~seed ~warmup ~max_events ~spec () =
     { spec; engine; nodes; metrics; measuring = false; completed_total = 0;
       completed_measured = 0; thread_count; parked_count = 0; on_cycle;
       links = Array.init spec.Spec.nodes (fun _ -> Array.make 4 0.);
-      fault_rngs }
+      fault_rngs; obs }
   in
   if thread_count = 0 then invalid_arg "Machine: no node runs a compute thread";
+  (match obs with
+  | None -> ()
+  | Some o ->
+    (* Engine health is sampled every 256 executed events; the probe's
+       events are pure instrumentation and never schedule anything. *)
+    Engine.set_observer engine (fun e ->
+        if Engine.events_processed e land 255 = 0 then
+          Sim_probe.engine_sample o ~now:(Engine.now e) ~heap:(Engine.pending e)
+            ~executed:(Engine.events_processed e)));
   (* Kick off every thread's first cycle (optionally staggered). *)
   Array.iter
     (fun node ->
@@ -630,14 +673,20 @@ let result_of m =
     events = Engine.events_processed m.engine;
   }
 
-let run ?(seed = 42) ?rng ?warmup_cycles ?(max_events = 200_000_000) ?on_cycle ~spec
-    ~cycles () =
+let finish_obs m =
+  match m.obs with
+  | None -> ()
+  | Some o -> Sim_probe.finish o ~now:(Engine.now m.engine)
+
+let run ?(seed = 42) ?rng ?warmup_cycles ?(max_events = 200_000_000) ?on_cycle ?obs
+    ~spec ~cycles () =
   if cycles <= 0 then invalid_arg "Machine: cycles must be positive";
   let warmup = match warmup_cycles with Some w -> max 0 w | None -> max 1000 (cycles / 10) in
-  let m, step_guarded = prepare ?on_cycle ?rng ~seed ~warmup ~max_events ~spec () in
+  let m, step_guarded = prepare ?on_cycle ?rng ?obs ~seed ~warmup ~max_events ~spec () in
   while m.completed_measured < cycles && step_guarded () do
     ()
   done;
+  finish_obs m;
   result_of m
 
 type confidence = {
@@ -647,13 +696,13 @@ type confidence = {
 }
 
 let run_until_confident ?(seed = 42) ?rng ?(warmup_cycles = 2_000)
-    ?(max_events = 500_000_000) ?(batch_cycles = 2_000) ?(max_batches = 200)
+    ?(max_events = 500_000_000) ?(batch_cycles = 2_000) ?(max_batches = 200) ?obs
     ~rel_precision ~spec () =
   if rel_precision <= 0. then invalid_arg "Machine: rel_precision must be positive";
   if batch_cycles <= 0 then invalid_arg "Machine: batch_cycles must be positive";
   if max_batches < 3 then invalid_arg "Machine: need at least three batches";
   let m, step_guarded =
-    prepare ?rng ~seed ~warmup:(max 0 warmup_cycles) ~max_events ~spec ()
+    prepare ?rng ?obs ~seed ~warmup:(max 0 warmup_cycles) ~max_events ~spec ()
   in
   let batch_means = Lopc_stats.Welford.create () in
   let exhausted = ref false in
@@ -676,6 +725,7 @@ let run_until_confident ?(seed = 42) ?rng ?(warmup_cycles = 2_000)
         converged := true
     end
   done;
+  finish_obs m;
   let mean = Lopc_stats.Welford.mean batch_means in
   let half = Lopc_stats.Welford.confidence_interval batch_means in
   ( result_of m,

@@ -45,6 +45,7 @@ val run :
   ?warmup_cycles:int ->
   ?max_events:int ->
   ?on_cycle:(cycle_report -> unit) ->
+  ?obs:Lopc_obs.Sim_probe.t ->
   spec:Spec.t ->
   cycles:int ->
   unit ->
@@ -57,6 +58,14 @@ val run :
     {!Lopc_prng.Rng.split} child keyed on its replication index, so
     parallel replications stay deterministic). [max_events] (default
     [200_000_000]) is a runaway guard.
+
+    When [obs] is given, the machine feeds it every observable
+    transition — thread start/stop, handler begin/end, queue-depth
+    changes, cycle completions, fault events, periodic engine samples —
+    timestamped with the simulation clock only, and closes any open
+    spans at termination ({!Lopc_obs.Sim_probe.finish}). The probe is
+    pure instrumentation: it draws no randomness and schedules nothing,
+    so a run's results are bit-identical with and without it.
     @raise Invalid_argument if the spec fails {!Spec.validate}, no node
     runs a thread, a route ever returns an empty list or an out-of-range
     node, or [cycles <= 0]. *)
@@ -77,6 +86,7 @@ val run_until_confident :
   ?max_events:int ->
   ?batch_cycles:int ->
   ?max_batches:int ->
+  ?obs:Lopc_obs.Sim_probe.t ->
   rel_precision:float ->
   spec:Spec.t ->
   unit ->

@@ -227,6 +227,29 @@ let entries =
          Rng.split_n rng n in Parallel.run pool (Array.init n (fun i -> fun () \
          -> Rng.float streams.(i))).";
     };
+    {
+      id = "obs-no-wallclock";
+      severity = Finding.Error;
+      stage = "typed";
+      summary = "a wall clock reachable from the observability layer (lib/obs)";
+      rationale =
+        "The observability layer records spans and probe samples whose \
+         timestamps are simulated cycles — that is what makes trace files \
+         byte-identical across runs and across --jobs settings, and what lets \
+         tests compare traces exactly. Any definition reachable from lib/obs \
+         that reads a wall clock (Sys.time, Unix.gettimeofday, Unix.time) \
+         reintroduces real time into that path, so two identical simulations \
+         could emit different traces. The analysis walks the call graph from \
+         every lib/obs definition and reports each clock reference with its \
+         reachability chain.";
+      example =
+        "let emit recorder ~track ~name =\n\
+        \  Recorder.instant recorder ~ts:(Unix.gettimeofday ()) ~track ~name";
+      fix =
+        "Timestamp with the simulated clock: pass Engine.now (or the event's \
+         arrival time) down to the emitter explicitly. Wall-clock timing \
+         belongs in the bench harness, outside lib/obs.";
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) entries

@@ -1,0 +1,69 @@
+(* Observability wall-clock ban: no definition reachable from the
+   observability layer (anything under lib/obs — the recorder, probes and
+   emitters) may reach a wall clock. Trace timestamps must be simulated
+   cycles only, or traces stop being byte-identical across runs and the
+   jobs-independence guarantee (same trace at any --jobs) breaks. Same BFS
+   machinery as the determinism taint, restricted to clock sources. *)
+
+module SMap = Callgraph.SMap
+module SSet = Callgraph.SSet
+
+let rule_id = "obs-no-wallclock"
+
+let severity = Finding.Error
+
+let summary = "a wall clock reachable from the observability layer (lib/obs)"
+
+let hint =
+  "timestamp trace events with the simulated clock (Engine.now / the machine's \
+   event times) and thread it to the emitter explicitly; wall-clock time makes \
+   traces differ run to run and across --jobs"
+
+type config = { entry_dirs : string list }
+
+let default_config = { entry_dirs = [ "lib/obs" ] }
+
+let dir_prefix dir path =
+  let n = String.length dir in
+  String.length path > n && String.sub path 0 n = dir && path.[n] = '/'
+
+let is_entry config (d : Callgraph.def) =
+  List.exists (fun dir -> dir_prefix dir d.Callgraph.source) config.entry_dirs
+
+let wall_clocks = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+
+let check ?(config = default_config) (graph : Callgraph.t) =
+  let findings = ref [] in
+  let visited = ref SSet.empty in
+  let queue = Queue.create () in
+  let entries =
+    List.filter (is_entry config) graph.defs
+    |> List.map (fun (d : Callgraph.def) -> d.key)
+    |> List.sort_uniq String.compare
+  in
+  List.iter (fun k -> Queue.push (k, [ k ]) queue) entries;
+  List.iter (fun k -> visited := SSet.add k !visited) entries;
+  while not (Queue.is_empty queue) do
+    let key, chain = Queue.pop queue in
+    match Callgraph.find graph key with
+    | None -> ()
+    | Some d ->
+      List.iter
+        (fun (r : Callgraph.ref_site) ->
+          if List.mem r.target wall_clocks then begin
+            let message =
+              Printf.sprintf "the wall clock %s; reachable as %s" r.target
+                (String.concat " -> " (List.rev chain))
+            in
+            findings :=
+              Finding.v ~rule:rule_id ~severity ~loc:r.ref_loc ~message ~hint
+              :: !findings
+          end;
+          if SMap.mem r.target graph.by_key && not (SSet.mem r.target !visited)
+          then begin
+            visited := SSet.add r.target !visited;
+            Queue.push (r.target, r.target :: chain) queue
+          end)
+        d.refs
+  done;
+  List.rev !findings

@@ -10,6 +10,7 @@ let catalogue =
     (Exn_rules.rule_id, Exn_rules.severity, Exn_rules.summary);
     (Stream_rules.rule_id, Stream_rules.severity, Stream_rules.summary);
     (Par_rules.rule_id, Par_rules.severity, Par_rules.summary);
+    (Obs_rules.rule_id, Obs_rules.severity, Obs_rules.summary);
   ]
 
 let analyze_units ?(entries = []) units =
@@ -18,6 +19,7 @@ let analyze_units ?(entries = []) units =
   let findings =
     Taint_rules.check ~config:taint_config graph
     @ Exn_rules.check graph @ Stream_rules.check graph @ Par_rules.check graph
+    @ Obs_rules.check graph
   in
   (* Suppression regions come from the sources the findings point into;
      cache per file since many findings share one. *)

@@ -1,5 +1,6 @@
 module Roots = Lopc_numerics.Roots
 module Fixed_point = Lopc_numerics.Fixed_point
+module Solver_probe = Lopc_numerics.Solver_probe
 module Polynomial = Lopc_numerics.Polynomial
 module Linear = Lopc_numerics.Linear
 
@@ -168,12 +169,15 @@ let solution_of_r (params : Params.t) ~w ~work_scv ~execution r =
    residual always crosses zero. [Saturated] is produced by the solvers
    whose demand can outgrow capacity ([Amva], [General], [Fault_model]);
    here a structured failure can only be [Diverged]. *)
-let solve_status ?(execution = Interrupt) ?(work_scv = 1.)
+let solve_status ?probe ?(execution = Interrupt) ?(work_scv = 1.)
     ?(solve_method = Brent_on_residual) params ~w =
   check params ~w;
   if work_scv < 0. || not (Float.is_finite work_scv) then
     invalid_arg "All_to_all: invalid work_scv";
   let lb = lower_bound params ~w in
+  (* The one queueing resource here is the handler: utilization So/R at
+     cycle time R, which is what the probe reports as [hottest]. *)
+  let handler_u r = params.Params.so /. Float.max r lb in
   match solve_method with
   | Damped_iteration ->
     let f r =
@@ -181,7 +185,21 @@ let solve_status ?(execution = Interrupt) ?(work_scv = 1.)
       let r = Float.max r lb in
       fixed_point_map ~execution ~work_scv params ~w r
     in
-    let r, status = Fixed_point.solve_scalar_status ~damping:0.5 ~tol:1e-12 ~f lb in
+    let fp_probe =
+      match probe with
+      | None -> None
+      | Some p ->
+        Some
+          (fun (ev : Solver_probe.event) ->
+            p
+              {
+                ev with
+                Solver_probe.hottest = Some (0, handler_u ev.Solver_probe.iterate.(0));
+              })
+    in
+    let r, status =
+      Fixed_point.solve_scalar_status ?probe:fp_probe ~damping:0.5 ~tol:1e-12 ~f lb
+    in
     (match status with
     | Fixed_point.Converged _ ->
       (Some (solution_of_r params ~w ~work_scv ~execution (Float.max r lb)), status)
@@ -190,7 +208,19 @@ let solve_status ?(execution = Interrupt) ?(work_scv = 1.)
     let evals = ref 0 in
     let f r =
       incr evals;
-      fixed_point_map ~execution ~work_scv params ~w r -. r
+      let fr = fixed_point_map ~execution ~work_scv params ~w r -. r in
+      (match probe with
+      | None -> ()
+      | Some p ->
+        p
+          {
+            Solver_probe.iter = !evals;
+            residual = Float.abs fr;
+            damping = 1.;
+            iterate = [| r |];
+            hottest = Some (0, handler_u r);
+          });
+      fr
     in
     match
       (match solve_method with
@@ -214,8 +244,8 @@ let solve_status ?(execution = Interrupt) ?(work_scv = 1.)
           } )
   end
 
-let solve ?execution ?work_scv ?solve_method params ~w =
-  match solve_status ?execution ?work_scv ?solve_method params ~w with
+let solve ?probe ?execution ?work_scv ?solve_method params ~w =
+  match solve_status ?probe ?execution ?work_scv ?solve_method params ~w with
   | Some s, _ -> s
   | None, status ->
     raise (Fixed_point.Diverged ("All_to_all: " ^ Fixed_point.status_to_string status))

@@ -55,6 +55,7 @@ type solve_method =
                            polynomial of §5.3. *)
 
 val solve_status :
+  ?probe:Lopc_numerics.Solver_probe.t ->
   ?execution:execution ->
   ?work_scv:float ->
   ?solve_method:solve_method ->
@@ -70,10 +71,18 @@ val solve_status :
     model never reports [Saturated] — its saturation floor lies strictly
     below the contention-free cycle time (see {!Fault_model} for a model
     that can).
+
+    [probe] receives one event per iteration ([Damped_iteration]: the
+    damped fixed-point steps, residuals strictly decreasing on a
+    contraction) or per residual evaluation (the bracketing methods:
+    residuals follow the bracket search, not a monotone schedule), with
+    [hottest] set to the handler station's utilization [So/R] at the
+    evaluated iterate.
     @raise Invalid_argument if [w < 0.], [work_scv < 0.], or parameters
     are invalid. *)
 
 val solve :
+  ?probe:Lopc_numerics.Solver_probe.t ->
   ?execution:execution ->
   ?work_scv:float ->
   ?solve_method:solve_method ->

@@ -186,7 +186,7 @@ let check_inputs c (params : Params.t) ~w =
   if w < 0. || not (Float.is_finite w) then invalid_arg "Fault_model: invalid work value";
   ignore (check c)
 
-let solve_status c (params : Params.t) ~w =
+let solve_status ?probe c (params : Params.t) ~w =
   check_inputs c params ~w;
   let kq = handler_load c in
   let a = kq *. params.so in
@@ -198,7 +198,22 @@ let solve_status c (params : Params.t) ~w =
   let evals = ref 0 in
   let f r =
     incr evals;
-    fixed_point_map c params ~w r -. r
+    let fr = fixed_point_map c params ~w r -. r in
+    (match probe with
+    | None -> ()
+    | Some p ->
+      (* The retry-inflated request station is the one that saturates:
+         utilization a/r at cycle time r. *)
+      p
+        {
+          Lopc_numerics.Solver_probe.iter = !evals;
+          residual = Float.abs fr;
+          damping = 1.;
+          iterate = [| r |];
+          (* r is always at or above the bracket start, which is positive. *)
+          hottest = Some (0, a /. r);
+        });
+    fr
   in
   if r_floor >= lb then begin
     (* The saturation floor sits above the contention-free bound: check
@@ -230,8 +245,8 @@ let solve_status c (params : Params.t) ~w =
       (None, Fixed_point.Diverged { iters = !evals; residual = Float.abs (f lb) })
   end
 
-let solve c params ~w =
-  match solve_status c params ~w with
+let solve ?probe c params ~w =
+  match solve_status ?probe c params ~w with
   | Some s, _ -> s
   | None, status ->
     raise (Fixed_point.Diverged ("Fault_model: " ^ Fixed_point.status_to_string status))

@@ -95,6 +95,7 @@ type solution = {
 }
 
 val solve_status :
+  ?probe:Lopc_numerics.Solver_probe.t ->
   config -> Params.t -> w:float -> solution option * Lopc_numerics.Fixed_point.status
 (** Solve the faulty fixed point. Returns [Saturated] (with the inflated
     request utilization at the saturation floor) when the retry-inflated
@@ -102,6 +103,7 @@ val solve_status :
     bracketing fails; [iters] counts map evaluations.
     @raise Invalid_argument on invalid [config], [params] or [w]. *)
 
-val solve : config -> Params.t -> w:float -> solution
+val solve :
+  ?probe:Lopc_numerics.Solver_probe.t -> config -> Params.t -> w:float -> solution
 (** Like {!solve_status}.
     @raise Lopc_numerics.Fixed_point.Diverged when no solution exists. *)

@@ -1,4 +1,5 @@
 module Fixed_point = Lopc_numerics.Fixed_point
+module Solver_probe = Lopc_numerics.Solver_probe
 
 type node_spec = { work : float option; visits : float array }
 
@@ -80,7 +81,7 @@ let node_queues ~beta ~max_queue a b =
     (qq, qy)
   end
 
-let solve_status ?(tol = 1e-12) ?(max_iter = 200_000) t =
+let solve_status ?probe ?(tol = 1e-12) ?(max_iter = 200_000) t =
   (match validate t with
   | Ok _ -> ()
   | Error reason -> invalid_arg ("General: " ^ reason));
@@ -147,7 +148,30 @@ let solve_status ?(tol = 1e-12) ?(max_iter = 200_000) t =
           (* Contention-free starting point. *)
           1. /. (w +. (hops.(c) *. (st +. so)) +. st +. so))
   in
-  let outcome, status = Fixed_point.solve_vector_status ~damping:0.1 ~tol ~max_iter ~f:step x0 in
+  (* The node with the most loaded request handlers at an iterate — the
+     probe's [hottest] and the saturation diagnosis below agree on it. *)
+  let hottest per_node =
+    let best = ref None in
+    Array.iteri
+      (fun k (ns : node_solution) ->
+        match !best with
+        | Some (_, u) when u >= ns.uq -> ()
+        | _ -> best := Some (k, ns.uq))
+      per_node;
+    !best
+  in
+  let fp_probe =
+    match probe with
+    | None -> None
+    | Some pr ->
+      Some
+        (fun (ev : Solver_probe.event) ->
+          pr { ev with Solver_probe.hottest = hottest (analyze ev.Solver_probe.iterate) })
+  in
+  let outcome, status =
+    Fixed_point.solve_vector_status ?probe:fp_probe ~damping:0.1 ~tol ~max_iter ~f:step
+      x0
+  in
   let x = outcome.Fixed_point.value in
   match status with
   | Fixed_point.Converged _ ->
@@ -166,20 +190,13 @@ let solve_status ?(tol = 1e-12) ?(max_iter = 200_000) t =
        handlers are driven to (or past) full utilization has no finite
        fixed point — report it as saturation with the culprit node. *)
     let per_node = analyze x in
-    let saturated = ref None in
-    Array.iteri
-      (fun k (ns : node_solution) ->
-        match !saturated with
-        | Some (_, best) when best >= ns.uq -> ()
-        | _ -> saturated := Some (k, ns.uq))
-      per_node;
-    (match !saturated with
+    (match hottest per_node with
     | Some (station, utilization) when utilization >= 1. -. 1e-9 ->
       (None, Fixed_point.Saturated { station; utilization })
-    | _ -> (None, status))
+    | Some _ | None -> (None, status))
 
-let solve ?tol ?max_iter t =
-  match solve_status ?tol ?max_iter t with
+let solve ?probe ?tol ?max_iter t =
+  match solve_status ?probe ?tol ?max_iter t with
   | Some s, _ -> s
   | None, status ->
     raise (Fixed_point.Diverged ("General: " ^ Fixed_point.status_to_string status))

@@ -59,6 +59,7 @@ val validate : t -> (t, string) result
     sums, at least one node runs a thread. *)
 
 val solve_status :
+  ?probe:Lopc_numerics.Solver_probe.t ->
   ?tol:float -> ?max_iter:int -> t -> solution option * Lopc_numerics.Fixed_point.status
 (** Solve the system A.1–A.10 and report a structured outcome. When the
     iteration stalls, the last iterate is inspected: a node whose
@@ -67,7 +68,8 @@ val solve_status :
     Non-converged outcomes return no solution.
     @raise Invalid_argument when {!validate} fails. *)
 
-val solve : ?tol:float -> ?max_iter:int -> t -> solution
+val solve :
+  ?probe:Lopc_numerics.Solver_probe.t -> ?tol:float -> ?max_iter:int -> t -> solution
 (** Raising variant of {!solve_status}.
     @raise Invalid_argument when {!validate} fails.
     @raise Lopc_numerics.Fixed_point.Diverged on any non-converged

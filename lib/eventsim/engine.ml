@@ -2,13 +2,18 @@ type t = {
   heap : event Event_heap.t;
   mutable now : float;
   mutable executed : int;
+  mutable observer : (t -> unit) option;
 }
 
 and event = { action : t -> unit; mutable cancelled : bool }
 
 type handle = event
 
-let create () = { heap = Event_heap.create (); now = 0.; executed = 0 }
+let create () = { heap = Event_heap.create (); now = 0.; executed = 0; observer = None }
+
+let set_observer t f = t.observer <- Some f
+
+let clear_observer t = t.observer <- None
 
 let now t = t.now
 
@@ -41,6 +46,7 @@ let rec step t =
       t.now <- time;
       t.executed <- t.executed + 1;
       ev.action t;
+      (match t.observer with None -> () | Some f -> f t);
       true
     end
 

@@ -41,6 +41,16 @@ val cancel : handle -> unit
 val is_cancelled : handle -> bool
 (** Whether {!cancel} was called on this handle. *)
 
+val set_observer : t -> (t -> unit) -> unit
+(** [set_observer t f] calls [f t] after every executed event — after
+    the event's action ran and the clock advanced, so [f] sees the
+    post-event state. At most one observer is installed; a second call
+    replaces the first. Observers must not schedule or execute events;
+    they exist for instrumentation (heap size / dispatch-rate probes). *)
+
+val clear_observer : t -> unit
+(** Remove the installed observer, if any. *)
+
 val step : t -> bool
 (** Execute the earliest pending event. Returns [false] when no events
     remain (cancelled events are skipped silently). *)

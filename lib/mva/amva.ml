@@ -1,4 +1,5 @@
 module Fixed_point = Lopc_numerics.Fixed_point
+module Solver_probe = Lopc_numerics.Solver_probe
 
 type approximation = Bard | Schweitzer
 
@@ -68,7 +69,21 @@ let validate_inputs ~think_time ~stations ~population =
   | [] -> ()
   | problems -> invalid_arg ("Amva: " ^ String.concat "; " problems)
 
-let solve_status ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.)
+(* The most utilized queueing station at the throughput implied by a
+   queue-length iterate — what the probe reports as [hottest]. *)
+let hottest_station ~stations x =
+  let best = ref None in
+  Array.iteri
+    (fun i (s : Station.t) ->
+      match s.kind with
+      | Station.Delay -> ()
+      | Station.Queueing ->
+        let u = x *. s.demand /. Float.of_int s.servers in
+        (match !best with Some (_, u') when u' >= u -> () | _ -> best := Some (i, u)))
+    stations;
+  !best
+
+let solve_status ?probe ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.)
     ?(tol = 1e-12) ?(max_iter = 100_000) ~stations ~population () =
   validate_inputs ~think_time ~stations ~population;
   let k = Array.length stations in
@@ -102,8 +117,23 @@ let solve_status ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.)
         (fun (s : Station.t) -> n *. s.demand /. (think_time +. total_demand))
         stations
     in
+    (* Enrich the raw fixed-point events with station semantics: the
+       hottest queueing station at each iterate's implied throughput. *)
+    let fp_probe =
+      match probe with
+      | None -> None
+      | Some p ->
+        Some
+          (fun (ev : Solver_probe.event) ->
+            let x =
+              consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time
+                ~n ev.Solver_probe.iterate
+            in
+            p { ev with Solver_probe.hottest = hottest_station ~stations x })
+    in
     let outcome, status =
-      Fixed_point.solve_vector_status ~damping:0.5 ~tol ~max_iter ~f:step q0
+      Fixed_point.solve_vector_status ?probe:fp_probe ~damping:0.5 ~tol ~max_iter
+        ~f:step q0
     in
     let queues = outcome.Fixed_point.value in
     let x = consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queues in
@@ -129,26 +159,16 @@ let solve_status ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.)
          the demand admits no finite closed-network solution at this
          population — which is far more actionable than a bare
          iteration-budget report. *)
-      let saturated = ref None in
-      Array.iteri
-        (fun i (s : Station.t) ->
-          match s.kind with
-          | Station.Delay -> ()
-          | Station.Queueing ->
-            let u = x *. s.demand /. Float.of_int s.servers in
-            (match !saturated with
-            | Some (_, best) when best >= u -> ()
-            | _ -> saturated := Some (i, u)))
-        stations;
-      (match !saturated with
+      (match hottest_station ~stations x with
       | Some (station, utilization) when utilization >= 1. -. 1e-9 ->
         (None, Fixed_point.Saturated { station; utilization })
-      | _ -> (None, status))
+      | Some _ | None -> (None, status))
   end
 
-let solve ?approximation ?use_scv ?think_time ?tol ?max_iter ~stations ~population () =
+let solve ?probe ?approximation ?use_scv ?think_time ?tol ?max_iter ~stations
+    ~population () =
   match
-    solve_status ?approximation ?use_scv ?think_time ?tol ?max_iter ~stations
+    solve_status ?probe ?approximation ?use_scv ?think_time ?tol ?max_iter ~stations
       ~population ()
   with
   | Some s, _ -> s

@@ -20,6 +20,7 @@ type approximation =
   | Schweitzer  (** Arrival queue = (N−1)/N × steady-state queue. *)
 
 val solve_status :
+  ?probe:Lopc_numerics.Solver_probe.t ->
   ?approximation:approximation ->
   ?use_scv:bool ->
   ?think_time:float ->
@@ -40,11 +41,17 @@ val solve_status :
     utilization), anything else as [Diverged]. Non-converged outcomes
     return no solution.
 
+    [probe] receives one event per fixed-point iteration, with [hottest]
+    set to the most utilized queueing station at that iterate's implied
+    throughput — on a [Saturated] outcome the probe's last [hottest]
+    names the same station the status reports.
+
     @raise Invalid_argument on invalid inputs. Unlike {!Exact_mva.solve},
     every invalid station is reported at once, with its index — e.g.
     ["Amva: station 0: non-positive demand; station 2: negative scv"]. *)
 
 val solve :
+  ?probe:Lopc_numerics.Solver_probe.t ->
   ?approximation:approximation ->
   ?use_scv:bool ->
   ?think_time:float ->

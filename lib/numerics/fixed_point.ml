@@ -24,7 +24,7 @@ let status_to_string s = Format.asprintf "%a" pp_status s
 (* Shared core for the scalar solvers: returns the last iterate, the
    structured status, and a human-readable reason used by the raising
    wrapper. *)
-let scalar_impl ~damping ~tol ~max_iter ~f ~name x0 =
+let scalar_impl ?probe ~damping ~tol ~max_iter ~f ~name x0 =
   if damping <= 0. || damping > 1. then invalid_arg (name ^ ": damping");
   let x = ref x0 in
   let answer : (float * status * string) option ref = ref None in
@@ -39,7 +39,19 @@ let scalar_impl ~damping ~tol ~max_iter ~f ~name x0 =
                "scalar iteration left the finite domain" );
          raise Exit
        end;
-       if Float.abs (fx -. !x) <= tol *. Float.max 1. (Float.abs !x) then begin
+       let residual = Float.abs (fx -. !x) in
+       (match probe with
+       | None -> ()
+       | Some p ->
+         p
+           {
+             Solver_probe.iter;
+             residual;
+             damping;
+             iterate = [| !x |];
+             hottest = None;
+           });
+       if residual <= tol *. Float.max 1. (Float.abs !x) then begin
          answer := Some (fx, Converged { iters = iter }, "");
          raise Exit
        end;
@@ -54,9 +66,10 @@ let scalar_impl ~damping ~tol ~max_iter ~f ~name x0 =
         Diverged { iters = max_iter; residual },
         "scalar iteration budget exhausted" )
 
-let solve_scalar_status ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+let solve_scalar_status ?probe ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
   let x, status, _ =
-    scalar_impl ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_scalar_status" x0
+    scalar_impl ?probe ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_scalar_status"
+      x0
   in
   (x, status)
 
@@ -71,7 +84,7 @@ let max_norm_diff a b =
   !m
 
 (* Shared core for the vector solvers, mirroring [scalar_impl]. *)
-let vector_impl ~damping ~tol ~max_iter ~f ~name x0 =
+let vector_impl ?probe ~damping ~tol ~max_iter ~f ~name x0 =
   if damping <= 0. || damping > 1. then invalid_arg (name ^ ": damping");
   let n = Array.length x0 in
   let x = ref (Array.copy x0) in
@@ -96,6 +109,17 @@ let vector_impl ~damping ~tol ~max_iter ~f ~name x0 =
          raise Exit
        end;
        let residual = max_norm_diff fx !x in
+       (match probe with
+       | None -> ()
+       | Some p ->
+         p
+           {
+             Solver_probe.iter;
+             residual;
+             damping;
+             iterate = Array.copy !x;
+             hottest = None;
+           });
        let scale = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1. !x in
        if residual <= tol *. scale then begin
          result :=
@@ -124,9 +148,10 @@ let vector_impl ~damping ~tol ~max_iter ~f ~name x0 =
         Diverged { iters = max_iter; residual },
         "vector iteration budget exhausted" )
 
-let solve_vector_status ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+let solve_vector_status ?probe ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
   let outcome, status, _ =
-    vector_impl ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_vector_status" x0
+    vector_impl ?probe ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_vector_status"
+      x0
   in
   (outcome, status)
 

@@ -53,6 +53,7 @@ val solve_scalar :
     @raise Diverged if convergence fails. *)
 
 val solve_scalar_status :
+  ?probe:Solver_probe.t ->
   ?damping:float ->
   ?tol:float ->
   ?max_iter:int ->
@@ -62,7 +63,10 @@ val solve_scalar_status :
 (** Non-raising variant of {!solve_scalar}: returns the last iterate
     together with a structured {!status} instead of raising. On
     [Diverged _] the returned float is the last finite iterate (not a
-    solution). Only raises [Invalid_argument] on a bad [damping]. *)
+    solution). [probe], when given, receives one {!Solver_probe.event}
+    per iteration (before the convergence test, so the converging step
+    is included); it does not alter the iteration. Only raises
+    [Invalid_argument] on a bad [damping]. *)
 
 val solve_vector :
   ?damping:float ->
@@ -76,6 +80,7 @@ val solve_vector :
     @raise Diverged if convergence fails or lengths mismatch. *)
 
 val solve_vector_status :
+  ?probe:Solver_probe.t ->
   ?damping:float ->
   ?tol:float ->
   ?max_iter:int ->
@@ -84,8 +89,9 @@ val solve_vector_status :
   outcome * status
 (** Non-raising variant of {!solve_vector}. On [Diverged _] the returned
     [outcome.value] is the last finite iterate, which model-level callers
-    use to diagnose saturation. Only raises [Invalid_argument] on a bad
-    [damping]. *)
+    use to diagnose saturation. [probe] is as in
+    {!solve_scalar_status}, with the full iterate copied per event. Only
+    raises [Invalid_argument] on a bad [damping]. *)
 
 val solve_scalar_aitken :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float

@@ -1,0 +1,61 @@
+(** Per-iteration solver telemetry.
+
+    A probe is a callback the fixed-point solvers (and the model-level
+    solvers built on them) invoke once per iteration with the residual,
+    the damping in force, the current iterate, and — when the caller
+    knows station semantics — the hottest station. It makes convergence
+    *inspectable*: a diverging AMVA run shows which station's
+    utilization is being driven past 1 long before the iteration budget
+    runs out.
+
+    Probes are passive: solvers ignore their return value and behave
+    identically with or without one (same iterates, same status). *)
+
+type event = {
+  iter : int;  (** 1-based iteration (or function-evaluation) count. *)
+  residual : float;
+      (** Max-norm of [F x − x] at this iterate (scalar: [|f x − x|]). *)
+  damping : float;  (** Under-relaxation factor in force. *)
+  iterate : float array;  (** The iterate [x] (copied; safe to keep). *)
+  hottest : (int * float) option;
+      (** [(station, utilization)] of the most utilized queueing station
+          at this iterate, when the solver knows station semantics;
+          [None] from the raw fixed-point iteration. *)
+}
+
+type t = event -> unit
+(** Probes must not raise: an exception thrown from a probe escapes the
+    [solve_status] entry points ([exn-escape] holds only for the
+    solvers' own code). *)
+
+type log
+(** An accumulating probe for tests and post-mortems. *)
+
+val log : ?limit:int -> unit -> log * t
+(** A fresh collector and the probe that feeds it; events beyond
+    [limit] (default [100_000]) are counted but discarded. *)
+
+val events : log -> event list
+(** Collected events, oldest first. *)
+
+val count : log -> int
+(** Events offered, including any discarded beyond the limit. *)
+
+val residuals : log -> float array
+(** The residual sequence, oldest first. *)
+
+val last : log -> event option
+
+val strictly_decreasing : ?from:int -> log -> bool
+(** Whether the residual sequence is finite and strictly decreasing
+    from index [from] (default [0]) on. [true] when fewer than two
+    events qualify. *)
+
+val hottest : log -> (int * float) option
+(** The [hottest] field of the last event that carried one. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** One line: [iter residual damping [hottest station/utilization]]. *)
+
+val pp : Format.formatter -> log -> unit
+(** All collected events, one {!pp_event} line each. *)

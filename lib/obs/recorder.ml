@@ -1,0 +1,136 @@
+type arg = Str of string | Num of float | Int of int
+
+type kind = Begin | End | Instant | Counter
+
+type event = {
+  ts : float;
+  track : int;
+  kind : kind;
+  name : string;
+  args : (string * arg) list;
+}
+
+type t = {
+  limit : int;
+  mutable rev_events : event list;  (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable last_ts : float;
+}
+
+let create ?(limit = 200_000) () =
+  if limit < 1 then invalid_arg "Recorder.create: limit must be positive";
+  { limit; rev_events = []; count = 0; dropped = 0; last_ts = Float.neg_infinity }
+
+let emit t ~ts ~track ~kind ~name args =
+  if not (Float.is_finite ts) then invalid_arg "Recorder.emit: non-finite timestamp";
+  if ts < t.last_ts then invalid_arg "Recorder.emit: timestamp went backwards";
+  t.last_ts <- ts;
+  if t.count >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.rev_events <- { ts; track; kind; name; args } :: t.rev_events;
+    t.count <- t.count + 1
+  end
+
+let begin_span t ~ts ~track name = emit t ~ts ~track ~kind:Begin ~name []
+
+let end_span t ~ts ~track name = emit t ~ts ~track ~kind:End ~name []
+
+let instant ?(args = []) t ~ts ~track name = emit t ~ts ~track ~kind:Instant ~name args
+
+let counter t ~ts ~track name v =
+  emit t ~ts ~track ~kind:Counter ~name [ ("value", Num v) ]
+
+let length t = t.count
+
+let dropped t = t.dropped
+
+let events t = List.rev t.rev_events
+
+(* JSON string escaping for the small character set trace names can
+   contain; control characters are escaped numerically for safety. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_arg_json ppf = function
+  | Str s -> Format.fprintf ppf "\"%s\"" (json_escape s)
+  | Num v ->
+    if Float.is_finite v then Format.fprintf ppf "%.9g" v
+    else Format.fprintf ppf "\"%.9g\"" v (* nan/inf are not JSON literals *)
+  | Int i -> Format.fprintf ppf "%d" i
+
+let pp_args_json ppf args =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "\"%s\":%a" (json_escape k) pp_arg_json v)
+    args;
+  Format.fprintf ppf "}"
+
+let phase_of_kind = function
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "i"
+  | Counter -> "C"
+
+let pp_chrome ppf t =
+  Format.fprintf ppf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "@\n{\"name\":\"%s\",\"cat\":\"sim\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d"
+        (json_escape e.name) (phase_of_kind e.kind) e.ts e.track;
+      (match e.kind with
+      | Instant -> Format.fprintf ppf ",\"s\":\"t\""
+      | Begin | End | Counter -> ());
+      (match e.args with
+      | [] -> ()
+      | args -> Format.fprintf ppf ",\"args\":%a" pp_args_json args);
+      Format.fprintf ppf "}")
+    (events t);
+  Format.fprintf ppf "@\n],\"displayTimeUnit\":\"ms\",";
+  Format.fprintf ppf "\"otherData\":{\"clock\":\"simulated-cycles\",\"dropped\":%d}}@\n"
+    t.dropped
+
+let pp_arg_text ppf = function
+  | Str s -> Format.fprintf ppf "%s" s
+  | Num v -> Format.fprintf ppf "%.9g" v
+  | Int i -> Format.fprintf ppf "%d" i
+
+let letter_of_kind = function
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "I"
+  | Counter -> "C"
+
+let pp_text ppf t =
+  Format.fprintf ppf "# lopc-obs/1 events=%d dropped=%d@\n" t.count t.dropped;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%.3f %d %s %s" e.ts e.track (letter_of_kind e.kind) e.name;
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_arg_text v) e.args;
+      Format.fprintf ppf "@\n")
+    (events t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      if Filename.check_suffix path ".json" then pp_chrome ppf t else pp_text ppf t;
+      Format.pp_print_flush ppf ())

@@ -1,0 +1,29 @@
+(** Bounded, deterministic sample decimation.
+
+    Keeps a bounded set of [(timestamp, value)] samples from an
+    unbounded stream without randomness: samples are kept every
+    [stride]-th arrival, and when the buffer fills, every other kept
+    sample is discarded and the stride doubles. The survivors are a
+    systematic (stride) sample spread over the whole stream, and the
+    result depends only on the input sequence, never on an RNG, so
+    traces stay replayable ([determinism-taint] safe). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keep at most [capacity] samples (default [512]).
+    @raise Invalid_argument if [capacity < 2]. *)
+
+val add : t -> ts:float -> float -> unit
+(** Offer one sample; it is kept only if it falls on the current
+    stride. *)
+
+val seen : t -> int
+(** Samples offered so far. *)
+
+val stride : t -> int
+(** Current decimation stride: one in [stride] offered samples is
+    kept. Starts at [1] and doubles at each compaction. *)
+
+val samples : t -> (float * float) array
+(** Kept samples, oldest first. *)

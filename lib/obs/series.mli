@@ -1,0 +1,41 @@
+(** Fixed-window trajectory of a piecewise-constant signal.
+
+    Wraps {!Lopc_stats.Time_average} to expose not just the end-of-run
+    mean but the *trajectory*: the signal's time average over each
+    consecutive window of [window] simulated cycles. This is what lets
+    a queue-length plot show the transient ramp the end-of-run
+    aggregate hides.
+
+    The total integral is preserved exactly: closing a window advances
+    the accumulator to the window boundary and restarts it there, so
+    {!integral} equals what a single [Time_average] over the whole run
+    would report (up to float summation order). *)
+
+type t
+
+val create : ?start:float -> window:float -> unit -> t
+(** Track a signal that holds [0.] from [start] (default [0.]),
+    aggregated in windows of [window] cycles.
+    @raise Invalid_argument if [window] is not positive and finite. *)
+
+val update : t -> now:float -> float -> unit
+(** The signal changed to [v] at [now]; windows crossed since the last
+    update are closed on the way.
+    @raise Invalid_argument if time goes backwards. *)
+
+val value : t -> float
+(** Current signal value. *)
+
+val points : t -> (float * float) array
+(** Closed windows as [(window_start, window_mean)], oldest first. The
+    window still open is not included — see {!current}. *)
+
+val current : t -> now:float -> float * float
+(** [(window_start, mean_so_far)] of the open window; the mean is [nan]
+    when no time has elapsed inside it. *)
+
+val integral : t -> now:float -> float
+(** [∫ signal dt] from [start] to [now], across all windows. *)
+
+val average : t -> now:float -> float
+(** {!integral} divided by elapsed time; [nan] when no time elapsed. *)

@@ -13,6 +13,8 @@ module Exact_mva = Lopc_mva.Exact_mva
 module Solution = Lopc_mva.Solution
 module Priority = Lopc_mva.Priority
 module Rng = Lopc_prng.Rng
+module Recorder = Lopc_obs.Recorder
+module Sim_probe = Lopc_obs.Sim_probe
 
 type fidelity = Quick | Full
 
@@ -74,13 +76,29 @@ let nodes = 32
 let wire_latency = 40.
 let w_sweep = [ 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048. ]
 
-let simulate_all_to_all ?(protocol_processor = false) ~fidelity ~rng ~w ~so ~c2 () =
+let simulate_all_to_all ?(protocol_processor = false) ?obs ~fidelity ~rng ~w ~so ~c2
+    () =
   let spec =
     Pattern.to_spec ~protocol_processor ~nodes ~work:(D.of_mean_scv ~mean:w ~scv:1.)
       ~handler:(D.of_mean_scv ~mean:so ~scv:c2) ~wire:(D.Constant wire_latency)
       Pattern.All_to_all
   in
-  (Machine.run ~rng ~spec ~cycles:(sim_cycles fidelity) ()).Machine.metrics
+  (Machine.run ~rng ~spec ~cycles:(sim_cycles fidelity) ?obs ()).Machine.metrics
+
+(* Per-point trace capture. Each sweep point writes its own file
+   (artifact-label.trace.json) so the parallel runner never shares a
+   recorder across domains, and the contents depend only on the point's
+   pre-derived PRNG stream — identical at any [--jobs]. *)
+let with_trace ~trace_dir ~artifact ~label ~nodes run =
+  match trace_dir with
+  | None -> run None
+  | Some dir ->
+    let recorder = Recorder.create ~limit:50_000 () in
+    let obs = Sim_probe.create ~recorder ~nodes () in
+    let result = run (Some obs) in
+    Recorder.write_file recorder
+      (Filename.concat dir (artifact ^ "-" ^ label ^ ".trace.json"));
+    result
 
 (* --- the artifacts -------------------------------------------------------- *)
 
@@ -122,7 +140,7 @@ let fig5_1_plan () =
         ~columns:[ "C2"; "So=128"; "So=256"; "So=512"; "So=1024" ];
   }
 
-let fig5_2_plan ~fidelity ~seed =
+let fig5_2_plan ?trace_dir ~fidelity ~seed =
   let so = 200. and c2 = 0. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
   {
@@ -131,10 +149,12 @@ let fig5_2_plan ~fidelity ~seed =
           let lb = A.lower_bound params ~w in
           let ub = A.upper_bound params ~w in
           let model = (A.solve params ~w).A.r in
-          let replication = Rng.split rng in
           let sim =
-            Metrics.mean_response
-              (simulate_all_to_all ~fidelity ~rng:replication ~w ~so ~c2 ())
+            with_trace ~trace_dir ~artifact:"fig5.2"
+              ~label:(Printf.sprintf "w%g" w) ~nodes (fun obs ->
+                let replication = Rng.split rng in
+                Metrics.mean_response
+                  (simulate_all_to_all ?obs ~fidelity ~rng:replication ~w ~so ~c2 ()))
           in
           [
             [
@@ -221,7 +241,7 @@ let table5_3_plan ~fidelity ~seed =
             "LogP abs err / So" ];
   }
 
-let fig6_2_plan ~fidelity ~seed =
+let fig6_2_plan ?trace_dir ~fidelity ~seed =
   let so = 131. and w = 1000. and c2 = 1. in
   let params = Params.create ~c2 ~p:nodes ~st:wire_latency ~so () in
   let optimum = CS.optimal_servers params ~w in
@@ -237,10 +257,12 @@ let fig6_2_plan ~fidelity ~seed =
               ~wire:(D.Constant wire_latency)
               (Pattern.Client_server { servers })
           in
-          let replication = Rng.split rng in
           let sim =
-            Metrics.throughput
-              (Machine.run ~rng:replication ~spec ~cycles ()).Machine.metrics
+            with_trace ~trace_dir ~artifact:"fig6.2"
+              ~label:(Printf.sprintf "s%02d" servers) ~nodes (fun obs ->
+                let replication = Rng.split rng in
+                Metrics.throughput
+                  (Machine.run ~rng:replication ~spec ~cycles ?obs ()).Machine.metrics)
           in
           [
             [
@@ -703,7 +725,7 @@ let exact_comparison_plan ~fidelity ~seed =
             "LoPC err %" ];
   }
 
-let fault_sweep_plan ~fidelity ~seed =
+let fault_sweep_plan ?trace_dir ~fidelity ~seed =
   let p = 16 and w = 1000. and so = 200. and c2 = 1. in
   let st = wire_latency in
   let timeout = 20_000. and max_tries = 10 in
@@ -737,10 +759,16 @@ let fault_sweep_plan ~fidelity ~seed =
               ~handler:(D.of_mean_scv ~mean:so ~scv:c2) ~wire:(D.Constant st)
               Pattern.All_to_all
           in
-          let replication = Rng.split rng in
           let m =
-            (Machine.run ~rng:replication ~spec ~cycles:(sim_cycles fidelity / 2) ())
-              .Machine.metrics
+            with_trace ~trace_dir ~artifact:"fault"
+              ~label:
+                (Printf.sprintf "d%g-u%g-e%g" drop duplicate delay_epsilon)
+              ~nodes:p
+              (fun obs ->
+                let replication = Rng.split rng in
+                (Machine.run ~rng:replication ~spec
+                   ~cycles:(sim_cycles fidelity / 2) ?obs ())
+                  .Machine.metrics)
           in
           let sim = Metrics.mean_response m in
           let finished = m.Metrics.cycles + m.Metrics.failed_cycles in
@@ -773,14 +801,14 @@ let fault_sweep_plan ~fidelity ~seed =
 
 (* --- public API ----------------------------------------------------------- *)
 
-let plans ?(fidelity = Full) ?(seed = 42) () =
+let plans ?(fidelity = Full) ?(seed = 42) ?trace_dir () =
   [
     ("table3.1", table3_1_plan ());
     ("fig5.1", fig5_1_plan ());
-    ("fig5.2", fig5_2_plan ~fidelity ~seed);
+    ("fig5.2", fig5_2_plan ?trace_dir ~fidelity ~seed);
     ("fig5.3", fig5_3_plan ~fidelity ~seed);
     ("table5.3", table5_3_plan ~fidelity ~seed);
-    ("fig6.2", fig6_2_plan ~fidelity ~seed);
+    ("fig6.2", fig6_2_plan ?trace_dir ~fidelity ~seed);
     ("ablate.arrival", ablation_arrival_theorem_plan ());
     ("ablate.priority", ablation_priority_plan ());
     ("ablate.scv", ablation_scv_correction_plan ~fidelity ~seed);
@@ -793,18 +821,20 @@ let plans ?(fidelity = Full) ?(seed = 42) () =
     ("assumptions", assumptions_audit_plan ~fidelity ~seed);
     ("network", network_contention_plan ~fidelity ~seed);
     ("exact", exact_comparison_plan ~fidelity ~seed);
-    ("fault", fault_sweep_plan ~fidelity ~seed);
+    ("fault", fault_sweep_plan ?trace_dir ~fidelity ~seed);
   ]
 
 let table3_1 () = run_plan (table3_1_plan ())
 let fig5_1 () = run_plan (fig5_1_plan ())
-let fig5_2 ?(fidelity = Full) ?(seed = 42) () = run_plan (fig5_2_plan ~fidelity ~seed)
+let fig5_2 ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (fig5_2_plan ?trace_dir:None ~fidelity ~seed)
 let fig5_3 ?(fidelity = Full) ?(seed = 42) () = run_plan (fig5_3_plan ~fidelity ~seed)
 
 let table5_3 ?(fidelity = Full) ?(seed = 42) () =
   run_plan (table5_3_plan ~fidelity ~seed)
 
-let fig6_2 ?(fidelity = Full) ?(seed = 42) () = run_plan (fig6_2_plan ~fidelity ~seed)
+let fig6_2 ?(fidelity = Full) ?(seed = 42) () =
+  run_plan (fig6_2_plan ?trace_dir:None ~fidelity ~seed)
 let ablation_arrival_theorem () = run_plan (ablation_arrival_theorem_plan ())
 let ablation_priority () = run_plan (ablation_priority_plan ())
 
@@ -837,7 +867,7 @@ let exact_comparison ?(fidelity = Full) ?(seed = 42) () =
   run_plan (exact_comparison_plan ~fidelity ~seed)
 
 let fault_sweep ?(fidelity = Full) ?(seed = 42) () =
-  run_plan (fault_sweep_plan ~fidelity ~seed)
+  run_plan (fault_sweep_plan ?trace_dir:None ~fidelity ~seed)
 
 let all ?(fidelity = Full) ?(seed = 42) ?pool () =
   List.map (fun (name, plan) -> (name, run_plan ?pool plan)) (plans ~fidelity ~seed ())

@@ -46,9 +46,18 @@ val run_plan : ?pool:Parallel.t -> plan -> Table.t
     the pool's domains otherwise — and assembles the table. Both paths
     return byte-identical tables. *)
 
-val plans : ?fidelity:fidelity -> ?seed:int -> unit -> (string * plan) list
+val plans :
+  ?fidelity:fidelity -> ?seed:int -> ?trace_dir:string -> unit -> (string * plan) list
 (** A fresh plan per artifact, keyed by harness name, in the canonical
-    reproduction order (the same keys as {!all}). *)
+    reproduction order (the same keys as {!all}).
+
+    With [trace_dir], the simulated artifacts that exercise the machine
+    directly (["fig5.2"], ["fig6.2"], ["fault"]) additionally write one
+    Chrome-trace JSON file per sweep point into the directory (which must
+    exist), named [artifact-label.trace.json]. Each point owns its own
+    recorder, so tracing is safe under {!run_plan}'s parallel pools, and
+    trace contents — timestamped in simulated cycles only — are
+    byte-identical at any job count and do not perturb the tables. *)
 
 val table3_1 : unit -> Table.t
 (** Table 3.1: the LoPC ↔ LogP parameter correspondence. *)

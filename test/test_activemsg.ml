@@ -525,6 +525,57 @@ let test_trace_renders () =
   Alcotest.(check bool) "mentions the node" true (contains "node" rendered);
   Alcotest.(check bool) "has a legend" true (contains "legend" rendered)
 
+let test_timeline_edge_cases () =
+  let render ~width reports =
+    Format.asprintf "%a" (Lopc_activemsg.Trace.pp_timeline ~width) reports
+  in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  let report ~started ~sent ~completed =
+    {
+      Machine.origin = 0;
+      started;
+      sent;
+      completed;
+      request_residence = Float.max 0. (completed -. sent -. 10.);
+      reply_residence = 5.;
+      wire = 5.;
+      measured = true;
+    }
+  in
+  Alcotest.(check string) "empty list" "(no cycles collected)\n" (render ~width:40 []);
+  (* A single report still gets a legend, a scale line, and one bar. *)
+  let one = render ~width:40 [ report ~started:0. ~sent:100. ~completed:180. ] in
+  Alcotest.(check bool) "single: legend" true (contains "legend" one);
+  Alcotest.(check bool) "single: scale" true (contains "scale" one);
+  Alcotest.(check bool) "single: total" true (contains "R = 180.0" one);
+  (* width=1 collapses every segment to its one-column floor without
+     crashing or dropping the bar delimiters. *)
+  let narrow = render ~width:1 [ report ~started:0. ~sent:100. ~completed:180. ] in
+  Alcotest.(check bool) "width 1: bar" true (contains "|=" narrow);
+  Alcotest.(check bool) "width 1: total" true (contains "R = 180.0" narrow);
+  (* A zero-duration cycle must not divide by zero or emit segments. *)
+  let degenerate =
+    render ~width:1
+      [
+        {
+          Machine.origin = 3;
+          started = 7.;
+          sent = 7.;
+          completed = 7.;
+          request_residence = 0.;
+          reply_residence = 0.;
+          wire = 0.;
+          measured = true;
+        };
+      ]
+  in
+  Alcotest.(check bool) "degenerate: node line" true (contains "node   3" degenerate);
+  Alcotest.(check bool) "degenerate: empty bar" true (contains "||" degenerate)
+
 let test_observer_sees_warmup_flag () =
   let spec =
     single_client_spec ~work:(D.Constant 10.) ~handler:(D.Constant 1.)
@@ -742,6 +793,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_sim_response_decomposes;
     Alcotest.test_case "trace collector" `Quick test_trace_collector;
     Alcotest.test_case "trace renders" `Quick test_trace_renders;
+    Alcotest.test_case "timeline edge cases" `Quick test_timeline_edge_cases;
     Alcotest.test_case "observer warm-up flag" `Quick test_observer_sees_warmup_flag;
     Alcotest.test_case "backlog metrics" `Quick test_backlog_metrics;
     Alcotest.test_case "backlog grows under load" `Slow test_backlog_grows_under_load;

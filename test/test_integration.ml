@@ -10,6 +10,7 @@ module A = Lopc.All_to_all
 module CS = Lopc.Client_server
 module G = Lopc.General
 module Params = Lopc.Params
+module Sim_probe = Lopc_obs.Sim_probe
 
 let simulate ?(nodes = 16) ?(seed = 42) ?(cycles = 50_000) ~w ~so ~st ~c2 pattern =
   let spec =
@@ -256,6 +257,70 @@ let test_fault_model_accuracy () =
           model.Lopc.Fault_model.tries (Metrics.mean_tries m))
     [ 0.01; 0.05 ]
 
+(* Differential check of the observability layer: the probe's per-node
+   time-series integrate to exactly the utilizations Metrics reports (both
+   sides see the same update stream when there is no warm-up reset), and
+   the measured request utilization lands on the AMVA-predicted [Uq]. *)
+let test_probe_utilization_matches_metrics () =
+  let nodes = 16 in
+  let spec =
+    Pattern.to_spec ~nodes ~work:(D.of_mean_scv ~mean:1000. ~scv:1.)
+      ~handler:(D.of_mean_scv ~mean:200. ~scv:0.) ~wire:(D.Constant 40.)
+      Pattern.All_to_all
+  in
+  let obs = Sim_probe.create ~nodes () in
+  let r = Machine.run ~warmup_cycles:0 ~obs ~spec ~cycles:20_000 () in
+  let m = r.Machine.metrics in
+  let now = r.Machine.final_time in
+  let mean_over_nodes f =
+    let acc = ref 0. in
+    for node = 0 to nodes - 1 do
+      acc := !acc +. f obs ~node ~now
+    done;
+    !acc /. float_of_int nodes
+  in
+  let close name probe metrics =
+    if Float.abs (probe -. metrics) > 1e-9 then
+      Alcotest.failf "%s: probe %.12g vs metrics %.12g" name probe metrics
+  in
+  close "thread utilization"
+    (mean_over_nodes Sim_probe.thread_utilization)
+    (Metrics.avg_thread_util m);
+  close "request utilization"
+    (mean_over_nodes Sim_probe.request_utilization)
+    (Metrics.avg_request_util m);
+  close "reply utilization"
+    (mean_over_nodes Sim_probe.reply_utilization)
+    (Metrics.avg_reply_util m)
+
+let test_probe_utilization_matches_amva () =
+  (* Fig 5-2 operating points: the probe-integrated request-handler
+     utilization should land on the model's Uq, not just on the
+     simulator's own bookkeeping. *)
+  List.iter
+    (fun w ->
+      let params = Params.create ~c2:0. ~p:16 ~st:40. ~so:200. () in
+      let model = A.solve params ~w in
+      let nodes = 16 in
+      let spec =
+        Pattern.to_spec ~nodes ~work:(D.of_mean_scv ~mean:w ~scv:1.)
+          ~handler:(D.Constant 200.) ~wire:(D.Constant 40.)
+          Pattern.All_to_all
+      in
+      let obs = Sim_probe.create ~nodes () in
+      let r = Machine.run ~obs ~spec ~cycles:50_000 () in
+      let now = r.Machine.final_time in
+      let acc = ref 0. in
+      for node = 0 to nodes - 1 do
+        acc := !acc +. Sim_probe.request_utilization obs ~node ~now
+      done;
+      let measured = !acc /. float_of_int nodes in
+      let err = Float.abs (measured -. model.A.uq) /. model.A.uq in
+      if err > 0.05 then
+        Alcotest.failf "W=%g: probe Uq %g vs model %g (err %.1f%%)" w measured
+          model.A.uq (100. *. err))
+    [ 1000.; 2048. ]
+
 let suite =
   [
     Alcotest.test_case "all-to-all within paper accuracy" `Slow test_all_to_all_accuracy;
@@ -273,4 +338,8 @@ let suite =
     Alcotest.test_case "windowed extension accuracy" `Slow test_windowed_model_accuracy;
     Alcotest.test_case "polling extension accuracy" `Slow test_polling_model_accuracy;
     Alcotest.test_case "fault model accuracy" `Slow test_fault_model_accuracy;
+    Alcotest.test_case "probe utilization matches Metrics" `Slow
+      test_probe_utilization_matches_metrics;
+    Alcotest.test_case "probe utilization matches AMVA Uq" `Slow
+      test_probe_utilization_matches_amva;
   ]

@@ -284,6 +284,42 @@ let test_par_capture_outside_runner_silent () =
   in
   hits "closures over streams are fine off the pool" [] (analyze src)
 
+(* --- obs-no-wallclock ---------------------------------------------------- *)
+
+let test_obs_wall_clock_fires () =
+  let src =
+    "let stamp () = Unix.gettimeofday ()\n"
+    ^ "let emit buf name = Buffer.add_string buf (name ^ string_of_float (stamp ()))"
+  in
+  match analyze ~source:"lib/obs/fixture.ml" src with
+  | [ f ] ->
+    hits "wall clock reachable from an obs emitter" [ ("obs-no-wallclock", 1) ] [ f ];
+    check_contains "chain names the emitter" f "Fixture.stamp";
+    check_contains "clock is named" f "Unix.gettimeofday"
+  | fs -> Alcotest.failf "expected one obs finding, got %d" (List.length fs)
+
+let test_obs_sys_time_fires () =
+  let src = "let emit () = Sys.time ()" in
+  hits "Sys.time directly in lib/obs"
+    [ ("obs-no-wallclock", 1) ]
+    (analyze ~source:"lib/obs/fixture.ml" src)
+
+let test_obs_simulated_clock_silent () =
+  (* Timestamps threaded in as data are exactly the sanctioned pattern. *)
+  let src =
+    "let emit buf ~ts name = Buffer.add_string buf (string_of_float ts ^ name)\n"
+    ^ "let span buf ~ts name = emit buf ~ts name; emit buf ~ts (name ^ \"/end\")"
+  in
+  hits "simulated timestamps passed as arguments are clean" []
+    (analyze ~source:"lib/obs/fixture.ml" src)
+
+let test_obs_outside_dir_silent () =
+  (* The same clock call outside lib/obs is the taint rule's business (and
+     only when reachable from its entries), not this rule's. *)
+  let src = "let stamp () = Unix.gettimeofday ()" in
+  hits "wall clock outside lib/obs is out of scope" []
+    (analyze ~source:"lib/fixture/fixture.ml" src)
+
 (* --- suppression of typed findings -------------------------------------- *)
 
 (* Typed findings are filtered by the [@lint.allow] regions of the source
@@ -333,8 +369,11 @@ let test_json_stable_across_runs () =
 
 let test_typed_catalogue () =
   Alcotest.(check (list string))
-    "the four typed rules, in catalogue order"
-    [ "determinism-taint"; "exn-escape"; "rng-stream-discipline"; "parallel-rng-capture" ]
+    "the five typed rules, in catalogue order"
+    [
+      "determinism-taint"; "exn-escape"; "rng-stream-discipline";
+      "parallel-rng-capture"; "obs-no-wallclock";
+    ]
     (List.map (fun (id, _, _) -> id) Typed_driver.catalogue)
 
 let suite =
@@ -374,6 +413,11 @@ let suite =
       test_par_capture_construction_time_silent;
     Alcotest.test_case "par: off-pool closure silent" `Quick
       test_par_capture_outside_runner_silent;
+    Alcotest.test_case "obs: wall clock fires" `Quick test_obs_wall_clock_fires;
+    Alcotest.test_case "obs: Sys.time fires" `Quick test_obs_sys_time_fires;
+    Alcotest.test_case "obs: simulated clock silent" `Quick
+      test_obs_simulated_clock_silent;
+    Alcotest.test_case "obs: outside lib/obs silent" `Quick test_obs_outside_dir_silent;
     Alcotest.test_case "typed suppression" `Quick test_typed_suppression;
     Alcotest.test_case "json stable across runs" `Quick test_json_stable_across_runs;
     Alcotest.test_case "typed catalogue" `Quick test_typed_catalogue;

@@ -84,6 +84,22 @@ let test_time_average_reset () =
   feq "value preserved" 5. (Time_average.value ta);
   feq "fresh average" 5. (Time_average.average ta ~now:20.)
 
+let test_time_average_zero_window () =
+  (* Averages over a zero-length window are undefined, never 0/0 noise:
+     the observability probes rely on [nan] here to mark "no data yet". *)
+  let ta = Time_average.create () in
+  Alcotest.(check bool) "fresh average is nan" true
+    (Float.is_nan (Time_average.average ta ~now:0.));
+  Time_average.update ta ~now:0. 7.;
+  Alcotest.(check bool) "zero elapsed stays nan" true
+    (Float.is_nan (Time_average.average ta ~now:0.));
+  feq "integral over empty window" 0. (Time_average.integral ta ~now:0.);
+  Time_average.update ta ~now:5. 2.;
+  Time_average.reset ta ~now:5.;
+  Alcotest.(check bool) "window restarts empty after reset" true
+    (Float.is_nan (Time_average.average ta ~now:5.));
+  feq "first post-reset average" 2. (Time_average.average ta ~now:6.)
+
 let test_time_average_backwards () =
   let ta = Time_average.create () in
   Time_average.update ta ~now:5. 1.;
@@ -246,6 +262,7 @@ let suite =
     Alcotest.test_case "time average piecewise" `Quick test_time_average_piecewise;
     Alcotest.test_case "time average reset" `Quick test_time_average_reset;
     Alcotest.test_case "time average rejects backwards time" `Quick test_time_average_backwards;
+    Alcotest.test_case "time average zero-length windows" `Quick test_time_average_zero_window;
     Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
     Alcotest.test_case "histogram cdf estimate" `Quick test_histogram_cdf;
     Alcotest.test_case "sample quantiles" `Quick test_sample_quantiles;
