@@ -22,6 +22,25 @@ module Table = Lopc_repro.Table
 
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
 
+(* The typed lint pass (cmt load + call graph + effect fixpoint + every
+   rule) as a micro line, so analysis-cost regressions show up in
+   BENCH_<gitsha>.json next to the solver numbers. Only present when the
+   .cmt trees exist — `main.exe micro` from a source checkout without a
+   build simply omits the line. *)
+let lint_typed_test () =
+  let open Bechamel in
+  let roots =
+    List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples"; "test" ]
+  in
+  match Lopc_analysis.Typed_driver.analyze_paths roots with
+  | exception _ -> []
+  | _ ->
+    [
+      Test.make ~name:"lint_typed (full tree)"
+        (Staged.stage (fun () ->
+             ignore (Lopc_analysis.Typed_driver.analyze_paths roots)));
+    ]
+
 let micro_tests () =
   let open Bechamel in
   let params = Lopc.Params.create ~c2:0. ~p:32 ~st:40. ~so:200. () in
@@ -82,6 +101,7 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Lopc_markov.Exact_machine.all_to_all ~p:3 ~w:1000. ~so:200. ~st:40. ()));
   ]
+  @ lint_typed_test ()
 
 (* Estimates sorted by test name: Bechamel hands results back in a
    Hashtbl, whose iteration order is unspecified, so reporting straight

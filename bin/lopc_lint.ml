@@ -30,10 +30,12 @@ let list_rules ppf =
 let () =
   let format = ref Driver.Human in
   let want_list = ref false in
+  let want_catalogue_md = ref false in
   let typed = ref false in
   let warn_as_error = ref false in
   let entries = ref [] in
   let explain = ref None in
+  let effects_key = ref None in
   let paths = ref [] in
   let set_format = function
     | "human" -> format := Driver.Human
@@ -54,6 +56,14 @@ let () =
       ( "--explain",
         Arg.String (fun id -> explain := Some id),
         "ID Print the rationale and a minimal violating example for a rule" );
+      ( "--effects",
+        Arg.String (fun k -> effects_key := Some k),
+        "KEY Print the transitive effect footprint of a definition (normalised \
+         key, e.g. Amva.solve) and exit" );
+      ( "--catalogue-md",
+        Arg.Set want_catalogue_md,
+        " Print the whole rule catalogue as markdown (the generated RULES.md) \
+         and exit" );
       ( "--warn-as-error",
         Arg.Set warn_as_error,
         " Exit nonzero on warnings too, not just errors" );
@@ -80,6 +90,10 @@ let () =
     list_rules Format.std_formatter;
     exit 0
   end;
+  if !want_catalogue_md then begin
+    Explain.pp_markdown Format.std_formatter ();
+    exit 0
+  end;
   let roots =
     match List.rev !paths with
     | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples"; "test" ]
@@ -93,9 +107,34 @@ let () =
         roots;
       roots
   in
+  let no_cmt searched =
+    Format.eprintf
+      "lopc_lint: no .cmt inputs under %s — run `dune build` first so the typed \
+       stage has trees to analyse@."
+      (String.concat " " searched);
+    exit 2
+  in
+  (match !effects_key with
+  | Some key -> (
+    match Typed_driver.effects_of_paths roots with
+    | exception Typed_driver.No_cmt_inputs searched -> no_cmt searched
+    | effects ->
+      if Lopc_analysis.Effects.print_footprint Format.std_formatter effects key then
+        exit 0
+      else begin
+        Format.eprintf
+          "lopc_lint: unknown definition %S (use the normalised key, e.g. \
+           Amva.solve)@."
+          key;
+        exit 2
+      end)
+  | None -> ());
   let syntactic = Driver.lint_paths roots in
   let typed_findings =
-    if !typed then Typed_driver.analyze_paths ~entries:(List.rev !entries) roots
+    if !typed then (
+      match Typed_driver.analyze_paths ~entries:(List.rev !entries) roots with
+      | exception Typed_driver.No_cmt_inputs searched -> no_cmt searched
+      | findings -> findings)
     else []
   in
   let findings = List.sort_uniq Finding.compare (syntactic @ typed_findings) in

@@ -16,6 +16,7 @@
 
 module SMap = Map.Make (String)
 module SSet = Set.Make (String)
+module IMap = Map.Make (Ident)
 
 type ref_site = {
   target : string;  (* normalised dotted key of the referenced value *)
@@ -47,6 +48,7 @@ type t = {
   by_key : def SMap.t;  (* first binding of a key wins *)
   types_by_key : Types.type_declaration SMap.t;  (* "Station.t" -> declaration *)
   wrappers : SSet.t;
+  idents : string IMap.t;  (* toplevel binding ident -> its key, all units *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -176,6 +178,15 @@ let scan_unit (u : Cmt_loader.unit_info) ~wrappers =
         let target = normalize ~wrappers ~aliases:!aliases (flatten_path path) in
         aliases := SMap.add name target !aliases
       | Tmod_structure str -> scan_items (prefix ^ name ^ ".") str.str_items
+      | Tmod_functor (_, body) -> (
+        (* Definitions inside a functor body are ordinary nodes (their
+           references to the functor parameter roll up as unresolved
+           locals). Applications of the functor are not expanded: a
+           reference through [F(M).g] keeps its own normalised key with
+           no definition behind it, which every graph walk tolerates. *)
+        match strip body with
+        | Tmod_structure str -> scan_items (prefix ^ name ^ ".") str.str_items
+        | _ -> ())
       | _ -> ())
   in
   scan_items (u.base ^ ".") u.structure.str_items;
@@ -354,9 +365,22 @@ let build (units : Cmt_loader.unit_info list) =
       (fun acc d -> if SMap.mem d.key acc then acc else SMap.add d.key d acc)
       SMap.empty defs
   in
-  { defs; by_key; types_by_key; wrappers }
+  let idents =
+    List.fold_left
+      (fun acc (_, (_, ident_keys, _, _)) ->
+        List.fold_left (fun acc (id, key) -> IMap.add id key acc) acc ident_keys)
+      IMap.empty scanned
+  in
+  { defs; by_key; types_by_key; wrappers; idents }
 
 let find t key = SMap.find_opt key t.by_key
+
+let resolve_ident t id = IMap.find_opt id t.idents
+
+(* Normalised key of a reference path outside any local-alias context: the
+   cross-unit spelling rules only (wrapper modules, [Stdlib], mangling). *)
+let normalize_path t path =
+  key_of (normalize ~wrappers:t.wrappers ~aliases:SMap.empty (flatten_path path))
 
 (* Resolve a type path seen at a use site to its project declaration.
    [owner] is the dotted module context of the site (or of the declaration

@@ -12,6 +12,7 @@
 
 module SMap : Map.S with type key = string
 module SSet : Set.S with type elt = string
+module IMap : Map.S with type key = Ident.t
 
 type ref_site = {
   target : string;  (** normalised dotted key of the referenced value *)
@@ -44,6 +45,7 @@ type t = {
   by_key : def SMap.t;
   types_by_key : Types.type_declaration SMap.t;
   wrappers : SSet.t;
+  idents : string IMap.t;  (** toplevel binding ident → its key, all units *)
 }
 
 val flatten_path : Path.t -> string list
@@ -58,6 +60,16 @@ val key_of : string list -> string
 val build : Cmt_loader.unit_info list -> t
 
 val find : t -> string -> def option
+
+(** Resolve a binding ident to the toplevel key it introduces, when the
+    ident is one a [scan_unit] pass recorded (same-unit toplevel bindings,
+    including bindings in nested modules and functor bodies). *)
+val resolve_ident : t -> Ident.t -> string option
+
+(** Normalised key of a reference path outside any local-alias context —
+    the cross-unit spelling rules only (wrapper modules, [Stdlib],
+    mangled unit names). *)
+val normalize_path : t -> Path.t -> string
 
 (** Resolve a type path seen at a use site to its project declaration.
     [owner] is the dotted module context of the site, so bare type names

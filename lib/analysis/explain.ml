@@ -250,6 +250,76 @@ let entries =
          arrival time) down to the emitter explicitly. Wall-clock timing \
          belongs in the bench harness, outside lib/obs.";
     };
+    {
+      id = "domain-shared-mutation";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "a task passed to Parallel.run/map writes a mutable location visible \
+         outside the task";
+      rationale =
+        "Tasks run concurrently on work-stealing domains, so a plain \
+         (non-Atomic) write to anything visible outside the task — a ref or \
+         array captured from the enclosing scope, a module-level mutable, or a \
+         captured mutable value handed to a function that writes through its \
+         parameters — is a data race: the final contents depend on which \
+         domain got there last. The effect analysis follows calls to a \
+         fixpoint, so the write is found however deep the helper that performs \
+         it; the finding shows the call chain. Mutable state allocated inside \
+         the task body is private and fine; Atomic.* operations are the \
+         sanctioned cross-domain primitives and are exempt.";
+      example =
+        "let count pool xs =\n\
+        \  let hits = ref 0 in\n\
+        \  Parallel.run pool (Array.map (fun x -> fun () -> \n\
+        \    if x > 0 then hits := !hits + 1) xs)";
+      fix =
+        "Give each task its own slot — a results array indexed by task, \
+         allocated at plan-build time, combined after the join — or make the \
+         shared cell an Atomic and use its read-modify-write operations.";
+    };
+    {
+      id = "atomic-read-modify-write";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "Atomic.get followed by Atomic.set on the same cell in one function";
+      rationale =
+        "A get/set pair on an Atomic.t is a check-then-act, not an atomic \
+         update: any write another domain lands between the get and the set is \
+         silently overwritten. Atomicity of the individual operations does not \
+         compose — the cell ends up exactly as racy as a plain ref, while \
+         looking synchronised. Cells freshly allocated in the same function \
+         are exempt, since set-after-make is initialisation before sharing.";
+      example = "let bump c = Atomic.set c (Atomic.get c + 1)";
+      fix =
+        "Use Atomic.incr/Atomic.fetch_and_add for counters, or a \
+         compare_and_set retry loop for general updates; reserve Atomic.set \
+         for initialisation before the cell is shared.";
+    };
+    {
+      id = "mutable-toplevel-escape";
+      severity = Finding.Warning;
+      stage = "typed";
+      summary = "a task passed to Parallel.run/map reads module-level mutable state";
+      rationale =
+        "A module-level ref, table or buffer has one instance per program, \
+         shared by every task on every domain. Even read-only use inside a \
+         task ties its result to whatever other code — or other tasks — have \
+         done to that instance, so runs stop being a pure function of the \
+         plan and replay across --jobs settings breaks. The effect analysis \
+         reports reads reached through any chain of calls, with the chain.";
+      example =
+        "let cache : (int, float) Hashtbl.t = Hashtbl.create 64\n\
+         let lookup n = Hashtbl.find_opt cache n\n\
+         let eval pool plan =\n\
+        \  Parallel.run pool (Array.map (fun t -> fun () -> lookup t) plan)";
+      fix =
+        "Allocate the state per task at plan-build time and pass it in as an \
+         argument (or through the task array); a toplevel table that is \
+         provably frozen before any parallel run may be suppressed with a \
+         justification.";
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) entries
@@ -262,3 +332,41 @@ let pp_entry ppf e =
   String.split_on_char '\n' e.example
   |> List.iter (fun line -> Format.fprintf ppf "    %s@." line);
   Format.fprintf ppf "@.Fix: %s@." e.fix
+
+(* The whole catalogue as one markdown document: per-stage summary tables
+   linking into a details section per rule. `lopc_lint --catalogue-md`
+   prints this, a dune rule diffs it against the committed RULES.md, and
+   the README points at RULES.md — so the documentation is generated from
+   the same entries the tool executes and cannot drift. *)
+let pp_markdown ppf () =
+  let stage_entries stage = List.filter (fun e -> e.stage = stage) entries in
+  let table stage =
+    Format.fprintf ppf "| Rule | Severity | Summary |@.|---|---|---|@.";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "| [`%s`](#%s) | %s | %s |@." e.id e.id
+          (Finding.severity_to_string e.severity)
+          e.summary)
+      (stage_entries stage);
+    Format.fprintf ppf "@."
+  in
+  Format.fprintf ppf
+    "# lopc-lint rule catalogue@.@.<!-- Generated by `lopc_lint --catalogue-md`. \
+     Do not edit by hand: the@.     runtest diff rule regenerates it; `dune \
+     promote` accepts changes. -->@.@.Two stages: syntactic rules run on the \
+     parse tree of every source file;@.typed rules need the `.cmt` trees of a \
+     completed `dune build` and reason@.across modules. `lopc_lint --explain \
+     <id>` prints the same text in the@.terminal.@.@.## Syntactic stage@.@.";
+  table "syntactic";
+  Format.fprintf ppf "## Typed stage@.@.";
+  table "typed";
+  Format.fprintf ppf "## Details@.";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@.### %s@.@.**%s, %s stage** — %s@.@.%s@.@." e.id
+        (Finding.severity_to_string e.severity)
+        e.stage e.summary e.rationale;
+      Format.fprintf ppf "Example (violates the rule):@.@.```ocaml@.%s@.```@.@."
+        e.example;
+      Format.fprintf ppf "**Fix:** %s@." e.fix)
+    entries

@@ -20,3 +20,7 @@ val entries : entry list
 val find : string -> entry option
 
 val pp_entry : Format.formatter -> entry -> unit
+
+(** The whole catalogue as one markdown document (summary tables per stage
+    plus a details section per rule) — the generated [RULES.md]. *)
+val pp_markdown : Format.formatter -> unit -> unit

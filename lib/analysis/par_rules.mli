@@ -19,4 +19,14 @@ val severity : Finding.severity
 
 val summary : string
 
+(** Whether a normalised key is [Parallel.run] or [Parallel.map] — of the
+    real [Lopc_repro.Parallel] or of a fixture-local [Parallel] module
+    (matched by suffix). Shared with the race rules ({!Race_rules}), so
+    "what counts as a parallel entry" has one definition. *)
+val is_parallel_runner : string -> bool
+
+(** Every ident bound by any pattern inside the expression — lambda
+    parameters and let-bindings alike. *)
+val bound_idents : Typedtree.expression -> Ident.t list
+
 val check : Callgraph.t -> Finding.t list

@@ -112,3 +112,115 @@ let unsafe_reason (graph : Callgraph.t) ~owner ty =
    argument of the arrow. *)
 let comparison_domain ty =
   match Types.get_desc ty with Types.Tarrow (_, arg, _, _) -> Some arg | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Mutability classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether a value of this type is (or contains) shared mutable storage.
+   [Shared kind] names the first mutable container found — a ref cell,
+   array, bytes, Hashtbl, Buffer, Queue, Stack, or a record with mutable
+   fields — expanding project type declarations the same way
+   [unsafe_reason] does. [Atomic_cell] means the only mutability found is
+   [Atomic.t], whose operations are the sanctioned cross-domain
+   primitives. Function types classify as [Frozen]: a closure may capture
+   anything, but the effect analysis tracks what bodies *do*, not what
+   their environments could hold. *)
+type mutability = Frozen | Atomic_cell | Shared of string
+
+let shared_heads =
+  [
+    ("ref", "ref cell");
+    ("array", "array");
+    ("Array.t", "array");
+    ("bytes", "bytes");
+    ("Bytes.t", "bytes");
+    ("Hashtbl.t", "hash table");
+    ("Buffer.t", "buffer");
+    ("Queue.t", "queue");
+    ("Stack.t", "stack");
+  ]
+
+let join_mutability a b =
+  match (a, b) with
+  | (Shared _ as m), _ | _, (Shared _ as m) -> m
+  | Atomic_cell, _ | _, Atomic_cell -> Atomic_cell
+  | Frozen, Frozen -> Frozen
+
+let mutability (graph : Callgraph.t) ~owner ty =
+  let rec check visited ~owner ty =
+    match Types.get_desc ty with
+    | Tconstr (path, args, _) -> (
+      let segments = Callgraph.flatten_path path in
+      let name =
+        type_name
+          (Callgraph.normalize ~wrappers:graph.Callgraph.wrappers
+             ~aliases:Callgraph.SMap.empty segments)
+      in
+      match List.assoc_opt name shared_heads with
+      | Some kind -> Shared kind
+      | None ->
+        if name = "Atomic.t" then join_mutability Atomic_cell (check_list visited ~owner args)
+        else if List.mem name visited then Frozen
+        else
+          let from_args = check_list visited ~owner args in
+          (match Callgraph.find_type graph ~owner segments with
+          | None -> from_args
+          | Some (key, decl) ->
+            let owner' =
+              match String.rindex_opt key '.' with
+              | Some i -> String.sub key 0 i
+              | None -> owner
+            in
+            join_mutability from_args (check_decl (name :: visited) ~owner:owner' decl)))
+    | Ttuple tys -> check_list visited ~owner tys
+    | Tpoly (t, _) -> check visited ~owner t
+    | Tvariant row ->
+      List.fold_left
+        (fun acc (_, field) ->
+          match Types.row_field_repr field with
+          | Types.Rpresent (Some t) -> join_mutability acc (check visited ~owner t)
+          | Types.Reither (_, tys, _) -> join_mutability acc (check_list visited ~owner tys)
+          | _ -> acc)
+        Frozen (Types.row_fields row)
+    | _ -> Frozen
+  and check_list visited ~owner tys =
+    List.fold_left
+      (fun acc t -> join_mutability acc (check visited ~owner t))
+      Frozen tys
+  and check_decl visited ~owner (decl : Types.type_declaration) =
+    match decl.type_kind with
+    | Type_record (labels, _)
+      when List.exists
+             (fun (l : Types.label_declaration) -> l.ld_mutable = Asttypes.Mutable)
+             labels -> Shared "mutable record"
+    | _ -> (
+      match decl.type_manifest with
+      | Some manifest -> check visited ~owner manifest
+      | None -> (
+        match decl.type_kind with
+        | Type_record (labels, _) ->
+          check_list visited ~owner
+            (List.map (fun (l : Types.label_declaration) -> l.ld_type) labels)
+        | Type_variant (constructors, _) ->
+          List.fold_left
+            (fun acc (c : Types.constructor_declaration) ->
+              match c.cd_args with
+              | Cstr_tuple tys -> join_mutability acc (check_list visited ~owner tys)
+              | Cstr_record labels ->
+                if
+                  List.exists
+                    (fun (l : Types.label_declaration) ->
+                      l.ld_mutable = Asttypes.Mutable)
+                    labels
+                then Shared "mutable record"
+                else
+                  join_mutability acc
+                    (check_list visited ~owner
+                       (List.map
+                          (fun (l : Types.label_declaration) -> l.ld_type)
+                          labels)))
+            Frozen constructors
+        | Type_open | Type_abstract -> Frozen))
+  in
+  check [] ~owner ty

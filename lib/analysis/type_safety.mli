@@ -17,3 +17,14 @@ val unsafe_reason : Callgraph.t -> owner:string -> Types.type_expr -> string opt
 (** The domain of a comparison operator's instantiated type (the first
     argument of the arrow), when it is an arrow. *)
 val comparison_domain : Types.type_expr -> Types.type_expr option
+
+(** Whether a value of a type is (or contains) shared mutable storage.
+    [Shared kind] names the first mutable container found (ref cell,
+    array, bytes, hash table, buffer, queue, stack, mutable record),
+    expanding project declarations transitively; [Atomic_cell] means the
+    only mutability found is [Atomic.t]; [Frozen] is immutable. Function
+    types are [Frozen] — closures are classified by what their bodies do
+    (see {!Effects}), not by what their environments could hold. *)
+type mutability = Frozen | Atomic_cell | Shared of string
+
+val mutability : Callgraph.t -> owner:string -> Types.type_expr -> mutability

@@ -4,6 +4,8 @@
    into. Stage 1 (driver.ml) never sees .cmt files; this module never
    parses untyped sources except to recover suppression regions. *)
 
+exception No_cmt_inputs of string list
+
 let catalogue =
   [
     (Taint_rules.rule_id, Taint_rules.severity, Taint_rules.summary);
@@ -12,14 +14,16 @@ let catalogue =
     (Par_rules.rule_id, Par_rules.severity, Par_rules.summary);
     (Obs_rules.rule_id, Obs_rules.severity, Obs_rules.summary);
   ]
+  @ Race_rules.catalogue
 
 let analyze_units ?(entries = []) units =
   let graph = Callgraph.build units in
   let taint_config = { Taint_rules.default_config with entries } in
+  let effects = Effects.analyze graph in
   let findings =
     Taint_rules.check ~config:taint_config graph
     @ Exn_rules.check graph @ Stream_rules.check graph @ Par_rules.check graph
-    @ Obs_rules.check graph
+    @ Obs_rules.check graph @ Race_rules.check effects
   in
   (* Suppression regions come from the sources the findings point into;
      cache per file since many findings share one. *)
@@ -36,15 +40,21 @@ let analyze_units ?(entries = []) units =
   |> List.filter (fun f -> not (Suppress.suppressed (regions_for (Finding.file f)) f))
   |> List.sort_uniq Finding.compare
 
-let analyze_paths ?entries roots =
-  (* Accept either _build paths or plain source roots: when a root holds no
-     .cmt files directly, look for its compiled image under _build/default
-     so `lopc_lint --typed lib` works from the repository root. *)
-  let effective root =
-    if Cmt_loader.cmt_files [ root ] <> [] then root
-    else
-      let built = Filename.concat (Filename.concat "_build" "default") root in
-      if Sys.file_exists built then built else root
-  in
-  let units = Cmt_loader.load (List.map effective roots) in
-  analyze_units ?entries units
+(* Accept either _build paths or plain source roots: when a root holds no
+   .cmt files directly, look for its compiled image under _build/default
+   so `lopc_lint --typed lib` works from the repository root. *)
+let effective_root root =
+  if Cmt_loader.cmt_files [ root ] <> [] then root
+  else
+    let built = Filename.concat (Filename.concat "_build" "default") root in
+    if Sys.file_exists built then built else root
+
+let units_of_paths roots =
+  let roots = List.map effective_root roots in
+  if Cmt_loader.cmt_files roots = [] then raise (No_cmt_inputs roots);
+  Cmt_loader.load roots
+
+let analyze_paths ?entries roots = analyze_units ?entries (units_of_paths roots)
+
+let effects_of_paths roots =
+  Effects.analyze (Callgraph.build (units_of_paths roots))

@@ -1,0 +1,17 @@
+(* Call-graph fixture: a first-class module packed at toplevel. The
+   references inside the packed structure roll up into the binding that
+   packs it, so taint still flows: solve_status unpacks [wall], and
+   [wall]'s packed body reads the wall clock. *)
+
+module type SRC = sig
+  val now : unit -> float
+end
+
+let wall : (module SRC) =
+  (module struct
+    let now () = Sys.time ()
+  end : SRC)
+
+let solve_status x =
+  let (module S) = wall in
+  x +. S.now ()

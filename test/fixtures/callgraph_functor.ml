@@ -1,0 +1,22 @@
+(* Call-graph fixture: definitions inside a functor body are ordinary
+   nodes, and the typed rules see through same-unit references between
+   them. The functor application [App] is deliberately not expanded —
+   references through it stay unresolved and every walk tolerates them. *)
+
+module type CLOCK = sig
+  val now : unit -> float
+end
+
+module F (C : CLOCK) = struct
+  let clock () = Sys.time ()
+
+  let solve_status x = x +. clock () +. C.now ()
+end
+
+module Wall = struct
+  let now () = 0.
+end
+
+module App = F (Wall)
+
+let use x = App.solve_status x

@@ -284,6 +284,282 @@ let test_par_capture_outside_runner_silent () =
   in
   hits "closures over streams are fine off the pool" [] (analyze src)
 
+(* --- race rules (effect summaries) --------------------------------------- *)
+
+(* Like [parallel_module], plus the [map] runner the seed analysis must
+   treat as a task body even when handed a bare toplevel function. *)
+let parallel_module_with_map =
+  "module Parallel = struct\n"
+  ^ "  type t = int\n"
+  ^ "  let run (_ : t) (tasks : (unit -> 'a) array) =\n"
+  ^ "    Array.map (fun f -> f ()) tasks\n"
+  ^ "  let map (_ : t) (f : 'a -> 'b) (xs : 'a array) = Array.map f xs\n"
+  ^ "end\n"
+
+let test_race_captured_write_fires () =
+  let src =
+    parallel_module_with_map
+    ^ "let go pool =\n"
+    ^ "  let hits = ref 0 in\n"
+    ^ "  Parallel.run pool [| (fun () -> hits := !hits + 1) |]"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "task writing a captured ref" [ ("domain-shared-mutation", 9) ] [ f ];
+    check_contains "capture is named" f "`hits`";
+    check_contains "scheduling is the reason" f "scheduling"
+  | fs -> Alcotest.failf "expected one race finding, got %d" (List.length fs)
+
+let test_race_transitive_global_write () =
+  (* The write sits two call-graph hops below the task: task -> work ->
+     bump -> counter. The summary fixpoint carries it up; the finding
+     shows the chain. The transitive *read* of the same counter (bump
+     dereferences it) is the escape warning on the same seed. *)
+  let src =
+    parallel_module_with_map
+    ^ "let counter = ref 0\n"
+    ^ "let bump () = counter := !counter + 1\n"
+    ^ "let work () = bump ()\n"
+    ^ "let go pool = Parallel.run pool [| (fun () -> work ()) |]"
+  in
+  match analyze src with
+  | [ race; escape ] ->
+    hits "transitive write and read of a module-level ref"
+      [ ("domain-shared-mutation", 10); ("mutable-toplevel-escape", 10) ]
+      [ race; escape ];
+    check_contains "chain crosses both hops" race "Fixture.work -> Fixture.bump";
+    check_contains "the global is named" race "Fixture.counter";
+    check_contains "kind is named" race "ref cell"
+  | fs -> Alcotest.failf "expected two race findings, got %d" (List.length fs)
+
+let test_race_task_local_state_silent () =
+  let src =
+    parallel_module_with_map
+    ^ "let go pool =\n"
+    ^ "  Parallel.run pool [| (fun () -> let h = ref 0 in h := 1; !h) |]"
+  in
+  hits "state allocated inside the task is private" [] (analyze src)
+
+let test_race_atomic_counter_silent () =
+  (* The Atomic-protected version of the shared counter: same shape as the
+     positive case, sanctioned primitives, no finding. *)
+  let src =
+    parallel_module_with_map
+    ^ "let total = Atomic.make 0\n"
+    ^ "let go pool =\n"
+    ^ "  Parallel.run pool [| (fun () -> Atomic.incr total) |]"
+  in
+  hits "Atomic.incr on a shared cell is the sanctioned pattern" [] (analyze src)
+
+let test_race_captured_passed_to_writer () =
+  (* The task never writes directly; it hands a captured table to a helper
+     whose summary says it writes through its parameters. *)
+  let src =
+    parallel_module_with_map
+    ^ "let record tbl k = Hashtbl.replace tbl k ()\n"
+    ^ "let go pool ks =\n"
+    ^ "  let seen = Hashtbl.create 8 in\n"
+    ^ "  Parallel.run pool (Array.map (fun k -> fun () -> record seen k) ks)"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "captured table handed to a writer" [ ("domain-shared-mutation", 10) ] [ f ];
+    check_contains "capture is named" f "`seen`";
+    check_contains "writer is named" f "Fixture.record";
+    check_contains "kind is named" f "hash table"
+  | fs -> Alcotest.failf "expected one race finding, got %d" (List.length fs)
+
+let test_race_construction_time_write_silent () =
+  (* Writes before the runner call happen serially on the submitting
+     domain; the tasks themselves are pure. *)
+  let src =
+    parallel_module_with_map
+    ^ "let go pool =\n"
+    ^ "  let log = ref 0 in\n"
+    ^ "  log := 1;\n"
+    ^ "  Parallel.run pool [| (fun () -> 2) |]"
+  in
+  hits "serial writes outside the tasks are fine" [] (analyze src)
+
+let test_race_map_function_seed () =
+  (* Parallel.map's task is a bare toplevel function reference — no lambda
+     to descend into, the seed comes from the argument itself. *)
+  let src =
+    parallel_module_with_map
+    ^ "let counter = ref 0\n"
+    ^ "let tally x = counter := !counter + x; x\n"
+    ^ "let go pool xs = Parallel.map pool tally xs"
+  in
+  match analyze src with
+  | [ race; escape ] ->
+    hits "bare map function writing a module-level ref"
+      [ ("domain-shared-mutation", 9); ("mutable-toplevel-escape", 9) ]
+      [ race; escape ];
+    check_contains "chain names the function" race "Fixture.tally"
+  | fs -> Alcotest.failf "expected two race findings, got %d" (List.length fs)
+
+let test_rmw_param_cell_fires () =
+  let src = "let bump c = Atomic.set c (Atomic.get c + 1)" in
+  match analyze src with
+  | [ f ] ->
+    hits "get-then-set on one cell" [ ("atomic-read-modify-write", 1) ] [ f ];
+    check_contains "cell is named" f "`c`"
+  | fs -> Alcotest.failf "expected one rmw finding, got %d" (List.length fs)
+
+let test_rmw_global_cell_fires () =
+  let src =
+    "let total = Atomic.make 0\n"
+    ^ "let reset_if_big () = if Atomic.get total > 10 then Atomic.set total 0"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "check-then-act on a global cell" [ ("atomic-read-modify-write", 2) ] [ f ];
+    check_contains "global is named" f "Fixture.total"
+  | fs -> Alcotest.failf "expected one rmw finding, got %d" (List.length fs)
+
+let test_rmw_fetch_and_add_silent () =
+  let src =
+    "let bump c = ignore (Atomic.fetch_and_add c 1)\n"
+    ^ "let peek c = Atomic.get c"
+  in
+  hits "read-modify-write primitives are atomic" [] (analyze src)
+
+let test_rmw_distinct_cells_silent () =
+  let src = "let move a b = Atomic.set b (Atomic.get a)" in
+  hits "get and set on different cells is not check-then-act" [] (analyze src)
+
+let test_rmw_fresh_cell_silent () =
+  let src =
+    "let fresh_cell () = let c = Atomic.make 0 in Atomic.set c 1; Atomic.get c"
+  in
+  hits "set-after-make is initialisation" [] (analyze src)
+
+let test_escape_transitive_read_fires () =
+  let src =
+    parallel_module_with_map
+    ^ "let cache : (int, int) Hashtbl.t = Hashtbl.create 8\n"
+    ^ "let lookup n = Hashtbl.find_opt cache n\n"
+    ^ "let go pool = Parallel.run pool [| (fun () -> lookup 3) |]"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "task reads a toplevel table through a helper"
+      [ ("mutable-toplevel-escape", 9) ]
+      [ f ];
+    check_contains "chain names the helper" f "Fixture.lookup";
+    check_contains "the table is named" f "Fixture.cache"
+  | fs -> Alcotest.failf "expected one escape finding, got %d" (List.length fs)
+
+let test_escape_direct_read_fires () =
+  let src =
+    parallel_module_with_map
+    ^ "let scale = ref 2\n"
+    ^ "let go pool = Parallel.run pool [| (fun () -> !scale) |]"
+  in
+  hits "task dereferencing a module-level ref"
+    [ ("mutable-toplevel-escape", 8) ]
+    (analyze src)
+
+let test_escape_immutable_toplevel_silent () =
+  let src =
+    parallel_module_with_map
+    ^ "let limit = 42\n"
+    ^ "let go pool = Parallel.run pool [| (fun () -> limit + 1) |]"
+  in
+  hits "immutable toplevels are free to share" [] (analyze src)
+
+(* --- effect footprints ---------------------------------------------------- *)
+
+let test_effects_footprint () =
+  let module Callgraph = Lopc_analysis.Callgraph in
+  let module Effects = Lopc_analysis.Effects in
+  let src =
+    "let counter = ref 0\n"
+    ^ "let bump () = counter := !counter + 1\n"
+    ^ "let work () = bump ()"
+  in
+  let effects = Effects.analyze (Callgraph.build [ unit_of src ]) in
+  let print key =
+    let buf = Buffer.create 128 in
+    let ppf = Format.formatter_of_buffer buf in
+    let found = Effects.print_footprint ppf effects key in
+    Format.pp_print_flush ppf ();
+    (found, Buffer.contents buf)
+  in
+  let found, text = print "Fixture.work" in
+  Alcotest.(check bool) "known key found" true found;
+  Alcotest.(check string) "footprint is stable, writes carried two hops up"
+    ("effect footprint of Fixture.work\n"
+   ^ "  global writes:  Fixture.counter\n"
+   ^ "  global reads:   Fixture.counter\n"
+   ^ "  atomic cells:   (none)\n"
+   ^ "  foreign writes: no\n"
+   ^ "  foreign reads:  no\n")
+    text;
+  let found, text = print "Fixture.nope" in
+  Alcotest.(check bool) "unknown key reported" false found;
+  Alcotest.(check string) "unknown key prints nothing" "" text
+
+(* --- functors and first-class modules ------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* `dune runtest` runs the binary in test/, `dune exec` from the root. *)
+let fixture_path name =
+  if Sys.file_exists (Filename.concat "fixtures" name) then
+    Filename.concat "fixtures" name
+  else Filename.concat (Filename.concat "test" "fixtures") name
+
+let analyze_fixture_file name =
+  let path = fixture_path name in
+  Typed_driver.analyze_units [ unit_of ~source:path (read_file path) ]
+
+let test_callgraph_functor_body () =
+  (* Definitions inside a functor body are ordinary nodes: the taint entry
+     [F.solve_status] reaches [F.clock] through a same-unit reference, and
+     the unexpanded application [App] (referenced by [use]) breaks
+     nothing. *)
+  match analyze_fixture_file "callgraph_functor.ml" with
+  | [ f ] ->
+    hits "wall clock inside a functor body" [ ("determinism-taint", 11) ] [ f ];
+    check_contains "chain stays inside the functor" f
+      "Fixture.F.solve_status -> Fixture.F.clock";
+    check_contains "source is named" f "Sys.time"
+  | fs -> Alcotest.failf "expected one functor finding, got %d" (List.length fs)
+
+let test_callgraph_first_class_module () =
+  (* References inside a packed structure roll up into the binding that
+     packs it, so taint flows through the first-class module value. *)
+  match analyze_fixture_file "callgraph_fcm.ml" with
+  | [ f ] ->
+    hits "wall clock behind a packed module" [ ("determinism-taint", 12) ] [ f ];
+    check_contains "chain goes through the packed binding" f
+      "Fixture.solve_status -> Fixture.wall"
+  | fs -> Alcotest.failf "expected one fcm finding, got %d" (List.length fs)
+
+let test_local_pack_unpack_silent () =
+  let src =
+    "module type SRC = sig val now : unit -> float end\n"
+    ^ "let solve_status x =\n"
+    ^ "  let (module S) = (module struct let now () = 1.0 end : SRC) in\n"
+    ^ "  x +. S.now ()"
+  in
+  hits "a pure local pack/unpack is clean" [] (analyze src)
+
+(* --- missing .cmt inputs -------------------------------------------------- *)
+
+let test_no_cmt_inputs_raises () =
+  (* The fixtures directory holds sources but no .cmt files; the typed
+     stage must refuse loudly rather than analyse nothing. *)
+  Alcotest.check_raises "no .cmt under the roots"
+    (Typed_driver.No_cmt_inputs [ "fixtures" ])
+    (fun () -> ignore (Typed_driver.analyze_paths [ "fixtures" ]))
+
 (* --- obs-no-wallclock ---------------------------------------------------- *)
 
 let test_obs_wall_clock_fires () =
@@ -367,12 +643,32 @@ let test_json_stable_across_runs () =
   Alcotest.(check string) "two runs render identically" first second;
   Alcotest.(check bool) "report is non-trivial" true (String.length first > 10)
 
+let test_json_stable_with_race_findings () =
+  (* Same guarantee for the effect-summary rules, whose findings carry
+     witness chains built from ident-bearing structures. *)
+  let src =
+    parallel_module_with_map
+    ^ "let counter = ref 0\n"
+    ^ "let bump () = counter := !counter + 1\n"
+    ^ "let go pool = Parallel.run pool [| (fun () -> bump ()) |]\n"
+    ^ "let swap c = Atomic.set c (Atomic.get c + 1)"
+  in
+  let render () =
+    let findings = analyze src in
+    Format.asprintf "%a" (fun ppf -> Driver.report ppf ~format:Driver.Json) findings
+  in
+  let first = render () in
+  Alcotest.(check string) "two runs render identically" first (render ());
+  Alcotest.(check bool) "race findings present" true
+    (String.length first > 10)
+
 let test_typed_catalogue () =
   Alcotest.(check (list string))
-    "the five typed rules, in catalogue order"
+    "the eight typed rules, in catalogue order"
     [
       "determinism-taint"; "exn-escape"; "rng-stream-discipline";
-      "parallel-rng-capture"; "obs-no-wallclock";
+      "parallel-rng-capture"; "obs-no-wallclock"; "domain-shared-mutation";
+      "atomic-read-modify-write"; "mutable-toplevel-escape";
     ]
     (List.map (fun (id, _, _) -> id) Typed_driver.catalogue)
 
@@ -418,7 +714,40 @@ let suite =
     Alcotest.test_case "obs: simulated clock silent" `Quick
       test_obs_simulated_clock_silent;
     Alcotest.test_case "obs: outside lib/obs silent" `Quick test_obs_outside_dir_silent;
+    Alcotest.test_case "race: captured write fires" `Quick
+      test_race_captured_write_fires;
+    Alcotest.test_case "race: transitive write fires" `Quick
+      test_race_transitive_global_write;
+    Alcotest.test_case "race: task-local state silent" `Quick
+      test_race_task_local_state_silent;
+    Alcotest.test_case "race: atomic counter silent" `Quick
+      test_race_atomic_counter_silent;
+    Alcotest.test_case "race: capture to writer fires" `Quick
+      test_race_captured_passed_to_writer;
+    Alcotest.test_case "race: construction-time silent" `Quick
+      test_race_construction_time_write_silent;
+    Alcotest.test_case "race: map function seed" `Quick test_race_map_function_seed;
+    Alcotest.test_case "rmw: param cell fires" `Quick test_rmw_param_cell_fires;
+    Alcotest.test_case "rmw: global cell fires" `Quick test_rmw_global_cell_fires;
+    Alcotest.test_case "rmw: fetch_and_add silent" `Quick test_rmw_fetch_and_add_silent;
+    Alcotest.test_case "rmw: distinct cells silent" `Quick
+      test_rmw_distinct_cells_silent;
+    Alcotest.test_case "rmw: fresh cell silent" `Quick test_rmw_fresh_cell_silent;
+    Alcotest.test_case "escape: transitive read fires" `Quick
+      test_escape_transitive_read_fires;
+    Alcotest.test_case "escape: direct read fires" `Quick test_escape_direct_read_fires;
+    Alcotest.test_case "escape: immutable silent" `Quick
+      test_escape_immutable_toplevel_silent;
+    Alcotest.test_case "effects: footprint dump" `Quick test_effects_footprint;
+    Alcotest.test_case "callgraph: functor body" `Quick test_callgraph_functor_body;
+    Alcotest.test_case "callgraph: first-class module" `Quick
+      test_callgraph_first_class_module;
+    Alcotest.test_case "callgraph: local pack silent" `Quick
+      test_local_pack_unpack_silent;
+    Alcotest.test_case "typed: no .cmt inputs raises" `Quick test_no_cmt_inputs_raises;
     Alcotest.test_case "typed suppression" `Quick test_typed_suppression;
     Alcotest.test_case "json stable across runs" `Quick test_json_stable_across_runs;
+    Alcotest.test_case "json stable with race findings" `Quick
+      test_json_stable_with_race_findings;
     Alcotest.test_case "typed catalogue" `Quick test_typed_catalogue;
   ]
