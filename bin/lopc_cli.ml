@@ -12,7 +12,12 @@
      lopc_cli predict --pattern client-server --optimal-servers -p 32 --so 131 -w 1000
      lopc_cli simulate --pattern hotspot=0:0.3 -p 16 -w 1000 --cycles 50000
      lopc_cli validate -p 16
-     lopc_cli sweep fig6.2 --csv out/ *)
+     lopc_cli sweep fig6.2 --csv out/
+
+   Exit codes distinguish why a run produced no answer (scripts and CI
+   route on them): 0 success, 2 usage or parameter error, 3 solver
+   diverged, 4 model saturated (no steady state), 5 a budget (--fuel or
+   --max-seconds) stopped the run. *)
 
 open Cmdliner
 
@@ -29,6 +34,103 @@ module Fault = Lopc_activemsg.Fault
 module Welford = Lopc_stats.Welford
 module Recorder = Lopc_obs.Recorder
 module Sim_probe = Lopc_obs.Sim_probe
+module Budget = Lopc_robust.Budget
+module Cancel = Lopc_robust.Cancel
+
+(* --- exit-code taxonomy ---------------------------------------------------- *)
+
+let exit_usage = 2
+let exit_diverged = 3
+let exit_saturated = 4
+let exit_exhausted = 5
+
+let status_exit_code = function
+  | Fixed_point.Converged _ -> 0
+  | Fixed_point.Diverged _ -> exit_diverged
+  | Fixed_point.Saturated _ -> exit_saturated
+  | Fixed_point.Exhausted _ -> exit_exhausted
+
+(* Solver failure: the structured status plus an actionable hint, to
+   stderr, mapped onto the exit taxonomy. *)
+let solver_failure ~what status =
+  let hint =
+    match status with
+    | Fixed_point.Saturated { station; utilization } ->
+      Printf.sprintf
+        "station %d is saturated (utilization %.3f): the offered load exceeds its \
+         capacity, so no steady state exists; increase W or reduce the per-request \
+         service demand"
+        station utilization
+    | Fixed_point.Diverged { iters; residual } ->
+      Printf.sprintf
+        "no fixed point after %d iterations (last residual %.3g); the parameters \
+         may sit outside the model's regime"
+        iters residual
+    | Fixed_point.Exhausted { iters; reason } ->
+      Printf.sprintf "the budget stopped the solver after %d iterations (%s); \
+                      raise --fuel or --max-seconds"
+        iters (Budget.reason_to_string reason)
+    | Fixed_point.Converged { iters } ->
+      Printf.sprintf "converged after %d iterations" iters
+  in
+  Format.eprintf "%s: %s@.  %s@." what (Fixed_point.status_to_string status) hint;
+  `Ok (status_exit_code status)
+
+(* --- budgets and the wall-clock watchdog ----------------------------------- *)
+
+let fuel_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Deterministic computation budget: solver iterations (predict) or \
+           simulated events (simulate). Exhaustion stops the run gracefully \
+           with exit code 5. Unlike --max-seconds, the outcome for a given \
+           fuel is reproducible.")
+
+let max_seconds_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "max-seconds" ] ~docv:"T"
+        ~doc:
+          "Wall-clock watchdog: cancel the run after $(docv) seconds (exit \
+           code 5). Where the run stops depends on machine speed — for \
+           reproducible cutoffs use --fuel.")
+
+(* The wall-clock side lives here in bin/, not in the libraries: a spawned
+   domain polls the deadline and flips the cancellation token the solver's
+   budget polls, so library results never depend on timing. *)
+let with_watchdog ?max_seconds cancel f =
+  match max_seconds with
+  | None -> f ()
+  | Some limit ->
+    let stop = Atomic.make false in
+    let watchdog =
+      Domain.spawn (fun () ->
+          let deadline = Unix.gettimeofday () +. limit in
+          let rec poll () =
+            if Atomic.get stop then ()
+            else if Unix.gettimeofday () >= deadline then Cancel.cancel cancel
+            else begin
+              Unix.sleepf 0.05;
+              poll ()
+            end
+          in
+          poll ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join watchdog)
+      f
+
+(* A budget exists as soon as either limit is requested; with only
+   --max-seconds it is pure cancellation (unlimited fuel). *)
+let budget_of ~fuel ~max_seconds ~cancel =
+  match (fuel, max_seconds) with
+  | None, None -> None
+  | Some fuel, _ -> Some (Budget.create ~fuel ~cancel ())
+  | None, Some _ -> Some (Budget.create ~cancel ())
 
 (* --- shared argument definitions ------------------------------------------ *)
 
@@ -188,10 +290,9 @@ let fault_of ~st ~so ~w ~drop ~duplicate ~delay_epsilon ~spike_mean ~timeout ~ba
 
 (* --- predict --------------------------------------------------------------- *)
 
-let print_all_to_all params ~w ~execution =
-  match A.solve_status ~execution params ~w with
-  | None, status ->
-    `Error (false, "all-to-all solver: " ^ Fixed_point.status_to_string status)
+let print_all_to_all ?budget params ~w ~execution =
+  match A.solve_status ?budget ~execution params ~w with
+  | None, status -> solver_failure ~what:"all-to-all solver" status
   | Some s, status ->
     let mode =
       match execution with
@@ -215,9 +316,9 @@ let print_all_to_all params ~w ~execution =
     Format.printf "  LogP (naive)        = %.2f@." (Lopc.Logp.cycle_time params ~w);
     Format.printf "  throughput X        = %.6f requests/cycle@." s.A.throughput;
     Format.printf "  Qq=%.4f Qy=%.4f Uq=%.4f Uy=%.4f@." s.A.qq s.A.qy s.A.uq s.A.uy;
-    `Ok ()
+    `Ok 0
 
-let print_fault_model fault params ~w =
+let print_fault_model ?budget fault params ~w =
   let config =
     FM.config ~drop:fault.Fault.drop ~duplicate:fault.Fault.duplicate
       ~delay_epsilon:fault.Fault.delay_epsilon
@@ -225,9 +326,8 @@ let print_fault_model fault params ~w =
       ~backoff:(fun try_ -> Fault.timeout_multiplier fault ~try_)
       ~max_tries:fault.Fault.max_tries ~timeout:fault.Fault.timeout ()
   in
-  match FM.solve_status config params ~w with
-  | None, status ->
-    `Error (false, "fault model solver: " ^ Fixed_point.status_to_string status)
+  match FM.solve_status ?budget config params ~w with
+  | None, status -> solver_failure ~what:"fault model solver" status
   | Some s, status ->
     Format.printf "LoPC faulty all-to-all prediction (%a, W=%g)@." Lopc.Params.pp params w;
     Format.printf "  fault: drop=%g dup=%g eps=%g timeout=%g retries=%d@."
@@ -243,7 +343,7 @@ let print_fault_model fault params ~w =
     Format.printf "  failure rate q^B    = %.3e@." s.FM.failure_rate;
     Format.printf "  goodput X           = %.6f requests/cycle@." s.FM.throughput;
     Format.printf "  Qq=%.4f Qy=%.4f Uq=%.4f Uy=%.4f@." s.FM.qq s.FM.qy s.FM.uq s.FM.uy;
-    `Ok ()
+    `Ok 0
 
 let print_client_server params ~w ~servers =
   let s = CS.throughput params ~w ~servers in
@@ -282,7 +382,7 @@ let polling_arg =
 
 let predict_cmd =
   let run p st so c2 w pp polling pattern optimal drop duplicate delay_epsilon
-      spike_mean timeout backoff retries =
+      spike_mean timeout backoff retries fuel max_seconds =
     match params_of ~p ~st ~so ~c2 with
     | `Error _ as e -> e
     | `Ok params -> (
@@ -295,32 +395,39 @@ let predict_cmd =
         with
         | Error msg -> `Error (false, msg)
         | Ok fault -> (
+          let cancel = Cancel.create () in
+          let budget = budget_of ~fuel ~max_seconds ~cancel in
           try
-            match (fault, pat) with
-            | Some fault, Pattern.All_to_all when not (pp || polling) ->
-              print_fault_model fault params ~w
-            | Some _, _ ->
-              `Error
-                ( false,
-                  "fault prediction models the interrupt-driven all-to-all workload \
-                   only" )
-            | None, (Pattern.All_to_all | Pattern.All_to_all_staggered) ->
-              let execution =
-                if pp then A.Protocol_processor
-                else if polling then A.Polling
-                else A.Interrupt
-              in
-              print_all_to_all params ~w ~execution
-            | None, Pattern.Client_server { servers } ->
-              let servers = if optimal then CS.optimal_servers params ~w else servers in
-              print_client_server params ~w ~servers;
-              `Ok ()
-            | None, (Pattern.Hotspot _ | Pattern.Multi_hop _) ->
-              print_general params ~w ~protocol_processor:pp pat;
-              `Ok ()
+            with_watchdog ?max_seconds cancel (fun () ->
+                match (fault, pat) with
+                | Some fault, Pattern.All_to_all when not (pp || polling) ->
+                  print_fault_model ?budget fault params ~w
+                | Some _, _ ->
+                  `Error
+                    ( false,
+                      "fault prediction models the interrupt-driven all-to-all \
+                       workload only" )
+                | None, (Pattern.All_to_all | Pattern.All_to_all_staggered) ->
+                  let execution =
+                    if pp then A.Protocol_processor
+                    else if polling then A.Polling
+                    else A.Interrupt
+                  in
+                  print_all_to_all ?budget params ~w ~execution
+                | None, Pattern.Client_server { servers } ->
+                  let servers =
+                    if optimal then CS.optimal_servers params ~w else servers
+                  in
+                  print_client_server params ~w ~servers;
+                  `Ok 0
+                | None, (Pattern.Hotspot _ | Pattern.Multi_hop _) ->
+                  print_general params ~w ~protocol_processor:pp pat;
+                  `Ok 0)
           with
           | Invalid_argument msg -> `Error (false, msg)
-          | Fixed_point.Diverged msg -> `Error (false, "solver outcome: " ^ msg))))
+          | Fixed_point.Diverged msg ->
+            Format.eprintf "solver outcome: %s@." msg;
+            `Ok exit_diverged)))
   in
   let optimal_arg =
     Arg.(
@@ -334,13 +441,14 @@ let predict_cmd =
       ret
         (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
         $ pattern_arg $ optimal_arg $ drop_arg $ duplicate_arg $ delay_epsilon_arg
-        $ spike_mean_arg $ timeout_arg $ backoff_arg $ retries_arg))
+        $ spike_mean_arg $ timeout_arg $ backoff_arg $ retries_arg $ fuel_arg
+        $ max_seconds_arg))
 
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
   let run p st so c2 w pp polling pattern seed cycles trace drop duplicate
-      delay_epsilon spike_mean timeout backoff retries =
+      delay_epsilon spike_mean timeout backoff retries fuel max_seconds =
     match parse_pattern ~nodes:p pattern with
     | `Error _ as e -> e
     | `Ok pat -> (
@@ -351,6 +459,8 @@ let simulate_cmd =
       | Error msg -> `Error (false, msg)
       | Ok fault -> (
       try
+        let cancel = Cancel.create () in
+        let budget = budget_of ~fuel ~max_seconds ~cancel in
         let spec =
           Pattern.to_spec ~protocol_processor:pp ~polling ?fault ~nodes:p
             ~work:(D.of_mean_scv ~mean:w ~scv:1.)
@@ -364,7 +474,10 @@ let simulate_cmd =
             let recorder = Recorder.create () in
             (Some recorder, Some (Sim_probe.create ~recorder ~nodes:p ()))
         in
-        let r = Machine.run ~seed ~spec ~cycles ?obs () in
+        let r =
+          with_watchdog ?max_seconds cancel (fun () ->
+              Machine.run ~seed ~spec ~cycles ?obs ?budget ())
+        in
         let m = r.Machine.metrics in
         (match (trace, recorder) with
         | Some path, Some recorder ->
@@ -404,7 +517,13 @@ let simulate_cmd =
           Format.printf "  goodput/offered     = %.4f (goodput %.6f, offered %.6f)@."
             (Metrics.goodput m /. Metrics.offered_load m)
             (Metrics.goodput m) (Metrics.offered_load m));
-        `Ok ()
+        (match r.Machine.interrupted with
+        | None -> `Ok 0
+        | Some reason ->
+          (* Metrics above are whatever accumulated before the stop. *)
+          Format.eprintf "simulation interrupted: %s@."
+            (Budget.reason_to_string reason);
+          `Ok exit_exhausted)
       with Invalid_argument msg -> `Error (false, msg)))
   in
   let trace_arg =
@@ -424,7 +543,8 @@ let simulate_cmd =
       ret
         (const run $ p_arg $ st_arg $ so_arg $ c2_arg $ w_arg $ pp_arg $ polling_arg
         $ pattern_arg $ seed_arg $ cycles_arg $ trace_arg $ drop_arg $ duplicate_arg
-        $ delay_epsilon_arg $ spike_mean_arg $ timeout_arg $ backoff_arg $ retries_arg))
+        $ delay_epsilon_arg $ spike_mean_arg $ timeout_arg $ backoff_arg $ retries_arg
+        $ fuel_arg $ max_seconds_arg))
 
 (* --- validate ---------------------------------------------------------------- *)
 
@@ -456,7 +576,7 @@ let validate_cmd =
         Format.printf "%-28s %12.6f %12.6f %+7.2f%%@." name model sim
           (100. *. (model -. sim) /. sim))
       cases;
-    `Ok ()
+    `Ok 0
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Check the model against the simulator on a workload grid")
@@ -485,7 +605,7 @@ let trace_cmd =
              ~spec ~cycles:count ());
         Format.printf "%a@." (Lopc_activemsg.Trace.pp_timeline ~width:60)
           (Lopc_activemsg.Trace.reports collector);
-        `Ok ()
+        `Ok 0
       with Invalid_argument msg -> `Error (false, msg))
   in
   Cmd.v
@@ -543,7 +663,7 @@ let calibrate_cmd =
           Format.printf
             "  note: St and So are nearly degenerate from R(W) alone; pass
             \  --fixed-st with a ping-pong-measured latency to identify So.@.");
-        `Ok ()
+        `Ok 0
       with Invalid_argument msg -> `Error (false, msg))
   in
   Cmd.v
@@ -580,7 +700,13 @@ let sweep_cmd =
         output_string oc (Lopc_repro.Table.to_csv table);
         close_out oc;
         Format.printf "(csv written to %s)@." path);
-      `Ok ()
+      let counters = Lopc_obs.Counters.global in
+      if
+        Lopc_obs.Counters.degradations counters > 0
+        || Lopc_obs.Counters.cascade_failures counters > 0
+        || Lopc_obs.Counters.exhaustions counters > 0
+      then Format.eprintf "(robustness: %s)@." (Lopc_obs.Counters.summary counters);
+      `Ok 0
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Regenerate a paper table or figure")
@@ -588,11 +714,21 @@ let sweep_cmd =
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let exits =
+    Cmd.Exit.info ~doc:"on usage or parameter errors." exit_usage
+    :: Cmd.Exit.info ~doc:"when a solver diverges (no fixed point found)." exit_diverged
+    :: Cmd.Exit.info ~doc:"when the model is saturated (no steady state exists)."
+         exit_saturated
+    :: Cmd.Exit.info
+         ~doc:"when a budget ($(b,--fuel) or $(b,--max-seconds)) stopped the run."
+         exit_exhausted
+    :: Cmd.Exit.defaults
+  in
   let info =
-    Cmd.info "lopc_cli" ~version:"1.0.0"
+    Cmd.info "lopc_cli" ~version:"1.0.0" ~exits
       ~doc:"LoPC: contention-aware cost modeling of parallel algorithms"
   in
   exit
-    (Cmd.eval
+    (Cmd.eval' ~term_err:exit_usage
        (Cmd.group ~default info
           [ predict_cmd; simulate_cmd; validate_cmd; sweep_cmd; trace_cmd; calibrate_cmd ]))

@@ -7,7 +7,12 @@ module Time_average = Lopc_stats.Time_average
 module Welford = Lopc_stats.Welford
 module Sim_probe = Lopc_obs.Sim_probe
 
-type result = { metrics : Metrics.t; final_time : float; events : int }
+type result = {
+  metrics : Metrics.t;
+  final_time : float;
+  events : int;
+  interrupted : Lopc_robust.Budget.stop_reason option;
+}
 
 type cycle_report = {
   origin : int;
@@ -101,6 +106,8 @@ type machine = {
   fault_rngs : Rng.t array;
   (* Observability probe; [None] keeps the hot path to an option match. *)
   obs : Sim_probe.t option;
+  (* Why the run loop stopped early, when a budget said so. *)
+  mutable interrupted : Lopc_robust.Budget.stop_reason option;
 }
 
 (* Run [f] on the probe, when one is attached. *)
@@ -578,7 +585,7 @@ and finish_cycle m node =
 
 (* Build the machine, schedule the initial cycles and run the warm-up
    phase; returns the machine plus a guarded single-step function. *)
-let prepare ?on_cycle ?rng ?obs ~seed ~warmup ~max_events ~spec () =
+let prepare ?on_cycle ?rng ?obs ?budget ~seed ~warmup ~max_events ~spec () =
   (match Spec.validate spec with
   | Ok _ -> ()
   | Error reason -> invalid_arg ("Machine: " ^ reason));
@@ -624,7 +631,7 @@ let prepare ?on_cycle ?rng ?obs ~seed ~warmup ~max_events ~spec () =
     { spec; engine; nodes; metrics; measuring = false; completed_total = 0;
       completed_measured = 0; thread_count; parked_count = 0; on_cycle;
       links = Array.init spec.Spec.nodes (fun _ -> Array.make 4 0.);
-      fault_rngs; obs }
+      fault_rngs; obs; interrupted = None }
   in
   if thread_count = 0 then invalid_arg "Machine: no node runs a compute thread";
   (match obs with
@@ -654,10 +661,27 @@ let prepare ?on_cycle ?rng ?obs ~seed ~warmup ~max_events ~spec () =
   (* Phase 1: warm-up. *)
   let steps = ref 0 in
   let step_guarded () =
-    incr steps;
-    if !steps > max_events then
-      invalid_arg "Machine: event budget exhausted (likely a runaway configuration)";
-    Engine.step engine
+    (* The graceful stop (one unit of fuel per event, cancellation
+       observed within one event) comes before the legacy hard guard. *)
+    let stop =
+      match budget with None -> None | Some b -> Lopc_robust.Budget.check b
+    in
+    match stop with
+    | Some reason ->
+      m.interrupted <- Some reason;
+      (* Close the measurement window at the stop time: queue and busy
+         time-averages have integrated past the last completed cycle, and
+         leaving [measure_end] behind them would make the utilization
+         readouts see time running backwards. *)
+      if m.measuring then
+        m.metrics.Metrics.measure_end <-
+          Float.max m.metrics.Metrics.measure_end (Engine.now engine);
+      false
+    | None ->
+      incr steps;
+      if !steps > max_events then
+        invalid_arg "Machine: event budget exhausted (likely a runaway configuration)";
+      Engine.step engine
   in
   while m.completed_total < warmup && step_guarded () do
     ()
@@ -671,6 +695,7 @@ let result_of m =
     metrics = m.metrics;
     final_time = Engine.now m.engine;
     events = Engine.events_processed m.engine;
+    interrupted = m.interrupted;
   }
 
 let finish_obs m =
@@ -679,10 +704,12 @@ let finish_obs m =
   | Some o -> Sim_probe.finish o ~now:(Engine.now m.engine)
 
 let run ?(seed = 42) ?rng ?warmup_cycles ?(max_events = 200_000_000) ?on_cycle ?obs
-    ~spec ~cycles () =
+    ?budget ~spec ~cycles () =
   if cycles <= 0 then invalid_arg "Machine: cycles must be positive";
   let warmup = match warmup_cycles with Some w -> max 0 w | None -> max 1000 (cycles / 10) in
-  let m, step_guarded = prepare ?on_cycle ?rng ?obs ~seed ~warmup ~max_events ~spec () in
+  let m, step_guarded =
+    prepare ?on_cycle ?rng ?obs ?budget ~seed ~warmup ~max_events ~spec ()
+  in
   while m.completed_measured < cycles && step_guarded () do
     ()
   done;
@@ -697,12 +724,12 @@ type confidence = {
 
 let run_until_confident ?(seed = 42) ?rng ?(warmup_cycles = 2_000)
     ?(max_events = 500_000_000) ?(batch_cycles = 2_000) ?(max_batches = 200) ?obs
-    ~rel_precision ~spec () =
+    ?budget ~rel_precision ~spec () =
   if rel_precision <= 0. then invalid_arg "Machine: rel_precision must be positive";
   if batch_cycles <= 0 then invalid_arg "Machine: batch_cycles must be positive";
   if max_batches < 3 then invalid_arg "Machine: need at least three batches";
   let m, step_guarded =
-    prepare ?rng ?obs ~seed ~warmup:(max 0 warmup_cycles) ~max_events ~spec ()
+    prepare ?rng ?obs ?budget ~seed ~warmup:(max 0 warmup_cycles) ~max_events ~spec ()
   in
   let batch_means = Lopc_stats.Welford.create () in
   let exhausted = ref false in

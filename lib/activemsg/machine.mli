@@ -23,6 +23,11 @@ type result = {
   metrics : Metrics.t;   (** Post-warm-up measurements. *)
   final_time : float;    (** Simulation clock at termination. *)
   events : int;          (** Total events executed (including warm-up). *)
+  interrupted : Lopc_robust.Budget.stop_reason option;
+      (** [Some reason] when a [budget] stopped the run before its cycle
+          target; the metrics then cover only the cycles completed so
+          far. [None] for a run that reached its target (or that was
+          given no budget). *)
 }
 
 type cycle_report = {
@@ -46,6 +51,7 @@ val run :
   ?max_events:int ->
   ?on_cycle:(cycle_report -> unit) ->
   ?obs:Lopc_obs.Sim_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   spec:Spec.t ->
   cycles:int ->
   unit ->
@@ -66,6 +72,13 @@ val run :
     spans at termination ({!Lopc_obs.Sim_probe.finish}). The probe is
     pure instrumentation: it draws no randomness and schedules nothing,
     so a run's results are bit-identical with and without it.
+
+    [budget] is consulted once per event (warm-up included, one unit of
+    fuel each); when it stops the run, the result comes back gracefully
+    with [interrupted = Some reason] and whatever metrics accumulated —
+    in contrast to the hard [max_events] guard, which raises. A
+    cancellation is observed within one event of the token flip. Fuel is
+    simulation progress, so budgeted runs remain deterministic.
     @raise Invalid_argument if the spec fails {!Spec.validate}, no node
     runs a thread, a route ever returns an empty list or an out-of-range
     node, or [cycles <= 0]. *)
@@ -87,6 +100,7 @@ val run_until_confident :
   ?batch_cycles:int ->
   ?max_batches:int ->
   ?obs:Lopc_obs.Sim_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   rel_precision:float ->
   spec:Spec.t ->
   unit ->

@@ -251,6 +251,36 @@ let entries =
          belongs in the bench harness, outside lib/obs.";
     };
     {
+      id = "unbounded-retry";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "a while loop reachable from a solver or simulator entry with no budget, \
+         cancellation token, or iteration bound in sight";
+      rationale =
+        "The supervised runtime can only stop work that polls a budget: fuel and \
+         cancellation are checked once per iteration, so a retry or polling loop \
+         that never consults a budget, token, or explicit bound is precisely the \
+         loop that wedges the process when the model leaves its convergent \
+         regime. The analysis walks the call graph from every solve/solve_status \
+         entry and the simulator, and flags each while loop whose enclosing \
+         definition mentions no budget-ish identifier (fuel, budget, cancel, \
+         max_, deadline, remaining) and no direct Budget.* / Cancel.* \
+         reference. for loops are inherently bounded and exempt; the finding \
+         shows the call chain to the loop.";
+      example =
+        "let rec settle state =\n\
+        \  while not (converged state) do\n\
+        \    relax state\n\
+        \  done\n\
+         let solve_status model = settle model; `Converged";
+      fix =
+        "Poll a Lopc_robust.Budget.t (or Cancel.t) once per iteration and turn \
+         exhaustion into an Exhausted status, or bound the loop with an \
+         explicit max_*/fuel counter; suppress only when the loop is provably \
+         bounded by its data.";
+    };
+    {
       id = "domain-shared-mutation";
       severity = Finding.Error;
       stage = "typed";

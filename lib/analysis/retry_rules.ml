@@ -1,0 +1,155 @@
+(* Unbounded-retry detection: any [while] loop in a definition reachable
+   from a solver or simulator entry point must be budget-aware. A retry or
+   polling loop with no fuel, cancellation token, or explicit iteration
+   bound in sight is exactly the loop that wedges a run when the model
+   leaves its convergent regime — the supervised-runtime contract says
+   every such loop polls a budget once per iteration so a supervisor can
+   stop it. [for] loops are inherently bounded and exempt.
+
+   A loop passes if its enclosing definition mentions a budget-ish
+   identifier — anything containing [fuel], [budget], [cancel], [max_],
+   [deadline] or [remaining], which covers direct [Budget.check] calls,
+   local helpers like [check_budget], and loops guarded by a stepper that
+   received the budget — or references [Budget.*] / [Cancel.*] directly.
+   The granularity is the definition, not the loop: a definition that
+   threads a budget anywhere is assumed to have wired it into its loops
+   (the chaos tests check the wiring dynamically). Same BFS machinery as
+   the determinism taint, so findings carry the call chain from the entry
+   that reached the loop. *)
+
+module SMap = Callgraph.SMap
+module SSet = Callgraph.SSet
+
+let rule_id = "unbounded-retry"
+
+let severity = Finding.Error
+
+let summary =
+  "a while loop reachable from a solver or simulator entry with no budget, \
+   cancellation token, or iteration bound in sight"
+
+let hint =
+  "poll a Lopc_robust.Budget.t (or Cancel.t) once per iteration, or bound the \
+   loop with an explicit max_*/fuel counter; if the loop is provably bounded by \
+   its data, suppress with [@lint.allow \"unbounded-retry\" \"why\"]"
+
+type config = {
+  entries : string list;  (* extra entry keys or key prefixes *)
+  entry_dirs : string list;
+  entry_names : string list;
+}
+
+let default_config =
+  {
+    entries = [];
+    entry_dirs = [ "lib/activemsg"; "lib/eventsim" ];
+    entry_names = [ "solve"; "solve_status" ];
+  }
+
+let dir_prefix dir path =
+  let n = String.length dir in
+  String.length path > n && String.sub path 0 n = dir && path.[n] = '/'
+
+let is_entry config (d : Callgraph.def) =
+  List.exists (fun dir -> dir_prefix dir d.Callgraph.source) config.entry_dirs
+  || List.mem d.Callgraph.def_name config.entry_names
+  || List.exists
+       (fun e ->
+         d.Callgraph.key = e
+         || (String.length d.Callgraph.key > String.length e
+            && String.sub d.Callgraph.key 0 (String.length e + 1) = e ^ "."))
+       config.entries
+
+let path_head target =
+  match String.index_opt target '.' with
+  | Some i -> String.sub target 0 i
+  | None -> target
+
+let bound_substrings = [ "fuel"; "budget"; "cancel"; "max_"; "deadline"; "remaining" ]
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n > 0 && at 0
+
+let budget_ish name =
+  let name = String.lowercase_ascii name in
+  List.exists (contains name) bound_substrings
+
+(* Does any identifier in the subtree look like a bound or budget? Local
+   idents count ([check_budget], [max_iter]) as well as globals. *)
+let mentions_bound expr =
+  let found = ref false in
+  let expr_it sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (path, _, _) -> (
+      match List.rev (Callgraph.flatten_path path) with
+      | last :: _ -> if budget_ish last then found := true
+      | [] -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_it } in
+  it.expr it expr;
+  !found
+
+(* Locations of every while loop in [body]. *)
+let while_locs body =
+  let acc = ref [] in
+  let expr_it sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_while (_, _) -> acc := e.Typedtree.exp_loc :: !acc
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_it } in
+  it.expr it body;
+  List.rev !acc
+
+let def_budget_aware (d : Callgraph.def) =
+  List.exists
+    (fun (r : Callgraph.ref_site) ->
+      let head = path_head r.target in
+      head = "Budget" || head = "Cancel")
+    d.Callgraph.refs
+
+let check ?(config = default_config) (graph : Callgraph.t) =
+  let findings = ref [] in
+  let visited = ref SSet.empty in
+  let queue = Queue.create () in
+  let entries =
+    List.filter (is_entry config) graph.defs
+    |> List.map (fun (d : Callgraph.def) -> d.key)
+    |> List.sort_uniq String.compare
+  in
+  List.iter (fun k -> Queue.push (k, [ k ]) queue) entries;
+  List.iter (fun k -> visited := SSet.add k !visited) entries;
+  while not (Queue.is_empty queue) do
+    let key, chain = Queue.pop queue in
+    match Callgraph.find graph key with
+    | None -> ()
+    | Some d ->
+      (match d.Callgraph.body with
+      | Some body when not (def_budget_aware d || mentions_bound body) ->
+        List.iter
+          (fun loc ->
+            let message =
+              Printf.sprintf
+                "a while loop with no budget, cancellation, or bound in sight; \
+                 reachable as %s"
+                (String.concat " -> " (List.rev chain))
+            in
+            findings :=
+              Finding.v ~rule:rule_id ~severity ~loc ~message ~hint :: !findings)
+          (while_locs body)
+      | Some _ | None -> ());
+      List.iter
+        (fun (r : Callgraph.ref_site) ->
+          if SMap.mem r.target graph.by_key && not (SSet.mem r.target !visited)
+          then begin
+            visited := SSet.add r.target !visited;
+            Queue.push (r.target, r.target :: chain) queue
+          end)
+        d.Callgraph.refs
+  done;
+  List.rev !findings

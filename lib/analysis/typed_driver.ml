@@ -13,6 +13,7 @@ let catalogue =
     (Stream_rules.rule_id, Stream_rules.severity, Stream_rules.summary);
     (Par_rules.rule_id, Par_rules.severity, Par_rules.summary);
     (Obs_rules.rule_id, Obs_rules.severity, Obs_rules.summary);
+    (Retry_rules.rule_id, Retry_rules.severity, Retry_rules.summary);
   ]
   @ Race_rules.catalogue
 
@@ -23,7 +24,9 @@ let analyze_units ?(entries = []) units =
   let findings =
     Taint_rules.check ~config:taint_config graph
     @ Exn_rules.check graph @ Stream_rules.check graph @ Par_rules.check graph
-    @ Obs_rules.check graph @ Race_rules.check effects
+    @ Obs_rules.check graph
+    @ Retry_rules.check ~config:{ Retry_rules.default_config with entries } graph
+    @ Race_rules.check effects
   in
   (* Suppression regions come from the sources the findings point into;
      cache per file since many findings share one. *)

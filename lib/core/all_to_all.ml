@@ -168,8 +168,14 @@ let solution_of_r (params : Params.t) ~w ~work_scv ~execution r =
    contention-free bound W + 2·St + 2·So where every bracket starts, so the
    residual always crosses zero. [Saturated] is produced by the solvers
    whose demand can outgrow capacity ([Amva], [General], [Fault_model]);
-   here a structured failure can only be [Diverged]. *)
-let solve_status ?probe ?(execution = Interrupt) ?(work_scv = 1.)
+   here a structured failure can only be [Diverged] or [Exhausted]. *)
+
+(* Budget stops on the bracketed path surface inside the residual callback,
+   where Brent gives us no other exit; caught below, never escaping
+   [solve_status]. *)
+exception Budget_stop of Lopc_robust.Budget.stop_reason
+
+let solve_status ?probe ?budget ?(execution = Interrupt) ?(work_scv = 1.)
     ?(solve_method = Brent_on_residual) params ~w =
   check params ~w;
   if work_scv < 0. || not (Float.is_finite work_scv) then
@@ -198,7 +204,8 @@ let solve_status ?probe ?(execution = Interrupt) ?(work_scv = 1.)
               })
     in
     let r, status =
-      Fixed_point.solve_scalar_status ?probe:fp_probe ~damping:0.5 ~tol:1e-12 ~f lb
+      Fixed_point.solve_scalar_status ?probe:fp_probe ?budget ~damping:0.5 ~tol:1e-12
+        ~f lb
     in
     (match status with
     | Fixed_point.Converged _ ->
@@ -206,42 +213,55 @@ let solve_status ?probe ?(execution = Interrupt) ?(work_scv = 1.)
     | status -> (None, status))
   | Brent_on_residual | Polynomial_roots -> begin
     let evals = ref 0 in
-    let f r =
-      incr evals;
-      let fr = fixed_point_map ~execution ~work_scv params ~w r -. r in
-      (match probe with
-      | None -> ()
-      | Some p ->
-        p
-          {
-            Solver_probe.iter = !evals;
-            residual = Float.abs fr;
-            damping = 1.;
-            iterate = [| r |];
-            hottest = Some (0, handler_u r);
-          });
-      fr
-    in
-    match
-      (match solve_method with
-      | Polynomial_roots -> solve_polynomial ~execution ~work_scv params ~w
-      | Brent_on_residual | Damped_iteration ->
-        if f lb <= 0. then lb
-        else begin
-          let lo, hi = Roots.expand_bracket_upward ~f lb in
-          Roots.brent ~f lo hi
-        end)
-    with
-    | r ->
-      ( Some (solution_of_r params ~w ~work_scv ~execution r),
-        Fixed_point.Converged { iters = !evals } )
-    | exception (Roots.No_bracket | Roots.Not_converged _) ->
-      ( None,
-        Fixed_point.Diverged
-          {
-            iters = !evals;
-            residual = Float.abs (fixed_point_map ~execution ~work_scv params ~w lb -. lb);
-          } )
+    (* [f] (and therefore its budget raise) sits lexically inside the
+       [try] whose handler maps the stop onto [Exhausted]: [f] is also
+       called from the bracketing guard below, outside the inner match. *)
+    try
+      let f r =
+        (match budget with
+        | None -> ()
+        | Some b -> (
+          match Lopc_robust.Budget.check b with
+          | None -> ()
+          | Some reason -> raise (Budget_stop reason)));
+        incr evals;
+        let fr = fixed_point_map ~execution ~work_scv params ~w r -. r in
+        (match probe with
+        | None -> ()
+        | Some p ->
+          p
+            {
+              Solver_probe.iter = !evals;
+              residual = Float.abs fr;
+              damping = 1.;
+              iterate = [| r |];
+              hottest = Some (0, handler_u r);
+            });
+        fr
+      in
+      begin match
+        (match solve_method with
+        | Polynomial_roots -> solve_polynomial ~execution ~work_scv params ~w
+        | Brent_on_residual | Damped_iteration ->
+          if f lb <= 0. then lb
+          else begin
+            let lo, hi = Roots.expand_bracket_upward ~f lb in
+            Roots.brent ~f lo hi
+          end)
+      with
+      | r ->
+        ( Some (solution_of_r params ~w ~work_scv ~execution r),
+          Fixed_point.Converged { iters = !evals } )
+      | exception (Roots.No_bracket | Roots.Not_converged _) ->
+        ( None,
+          Fixed_point.Diverged
+            {
+              iters = !evals;
+              residual = Float.abs (fixed_point_map ~execution ~work_scv params ~w lb -. lb);
+            } )
+      end
+    with Budget_stop reason ->
+      (None, Fixed_point.Exhausted { iters = !evals; reason })
   end
 
 let solve ?probe ?execution ?work_scv ?solve_method params ~w =

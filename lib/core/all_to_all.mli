@@ -56,6 +56,7 @@ type solve_method =
 
 val solve_status :
   ?probe:Lopc_numerics.Solver_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   ?execution:execution ->
   ?work_scv:float ->
   ?solve_method:solve_method ->
@@ -78,6 +79,12 @@ val solve_status :
     residuals follow the bracket search, not a monotone schedule), with
     [hottest] set to the handler station's utilization [So/R] at the
     evaluated iterate.
+
+    [budget] is consulted once per iteration ([Damped_iteration]) or per
+    residual evaluation ([Brent_on_residual]); when it stops the run the
+    outcome is [(None, Exhausted _)]. [Polynomial_roots] does not consult
+    the budget: the direct root computation is a fixed amount of work and
+    cannot spin.
     @raise Invalid_argument if [w < 0.], [work_scv < 0.], or parameters
     are invalid. *)
 

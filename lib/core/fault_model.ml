@@ -186,7 +186,11 @@ let check_inputs c (params : Params.t) ~w =
   if w < 0. || not (Float.is_finite w) then invalid_arg "Fault_model: invalid work value";
   ignore (check c)
 
-let solve_status ?probe c (params : Params.t) ~w =
+(* As in [All_to_all]: a budget stop inside the root-finder's residual
+   callback, caught before it can escape [solve_status]. *)
+exception Budget_stop of Lopc_robust.Budget.stop_reason
+
+let solve_status ?probe ?budget c (params : Params.t) ~w =
   check_inputs c params ~w;
   let kq = handler_load c in
   let a = kq *. params.so in
@@ -196,54 +200,68 @@ let solve_status ?probe c (params : Params.t) ~w =
   let r_floor = (a +. Float.sqrt ((a *. a) +. (4. *. a *. b))) /. 2. in
   let lb = lower_bound c params ~w in
   let evals = ref 0 in
-  let f r =
-    incr evals;
-    let fr = fixed_point_map c params ~w r -. r in
-    (match probe with
-    | None -> ()
-    | Some p ->
-      (* The retry-inflated request station is the one that saturates:
-         utilization a/r at cycle time r. *)
-      p
-        {
-          Lopc_numerics.Solver_probe.iter = !evals;
-          residual = Float.abs fr;
-          damping = 1.;
-          iterate = [| r |];
-          (* r is always at or above the bracket start, which is positive. *)
-          hottest = Some (0, a /. r);
-        });
-    fr
-  in
-  if r_floor >= lb then begin
-    (* The saturation floor sits above the contention-free bound: check
-       that a fixed point exists strictly above the floor. *)
-    let start = r_floor *. (1. +. 1e-9) in
-    if f start <= 0. then
-      (None, Fixed_point.Saturated { station = 0; utilization = a /. start })
+  (* [f] is called from guard positions and failure handlers too, so the
+     budget stop is caught around the whole dispatch rather than per
+     root-finder call — and [f] is defined inside the [try] so its raise
+     is lexically within the handler (the exn-escape rule is lexical). *)
+  try
+    let f r =
+      (match budget with
+      | None -> ()
+      | Some b -> (
+        match Lopc_robust.Budget.check b with
+        | None -> ()
+        | Some reason -> raise (Budget_stop reason)));
+      incr evals;
+      let fr = fixed_point_map c params ~w r -. r in
+      (match probe with
+      | None -> ()
+      | Some p ->
+        (* The retry-inflated request station is the one that saturates:
+           utilization a/r at cycle time r. *)
+        p
+          {
+            Lopc_numerics.Solver_probe.iter = !evals;
+            residual = Float.abs fr;
+            damping = 1.;
+            iterate = [| r |];
+            (* r is always at or above the bracket start, which is positive. *)
+            hottest = Some (0, a /. r);
+          });
+      fr
+    in
+    if r_floor >= lb then begin
+      (* The saturation floor sits above the contention-free bound: check
+         that a fixed point exists strictly above the floor. *)
+      let start = r_floor *. (1. +. 1e-9) in
+      if f start <= 0. then
+        (None, Fixed_point.Saturated { station = 0; utilization = a /. start })
+      else begin
+        match
+          let lo, hi = Roots.expand_bracket_upward ~f start in
+          Roots.brent ~f lo hi
+        with
+        | r ->
+          (Some (solution_of_r c params ~w r), Fixed_point.Converged { iters = !evals })
+        | exception (Roots.No_bracket | Roots.Not_converged _) ->
+          (None, Fixed_point.Diverged { iters = !evals; residual = Float.abs (f lb) })
+      end
+    end
+    else if f lb <= 0. then
+      (* Degenerate but healthy: the fixed point is at (or below) the
+         contention-free bound, as in [All_to_all.solve_brent]. *)
+      (Some (solution_of_r c params ~w lb), Fixed_point.Converged { iters = !evals })
     else begin
       match
-        let lo, hi = Roots.expand_bracket_upward ~f start in
+        let lo, hi = Roots.expand_bracket_upward ~f lb in
         Roots.brent ~f lo hi
       with
-      | r -> (Some (solution_of_r c params ~w r), Fixed_point.Converged { iters = !evals })
+      | r ->
+        (Some (solution_of_r c params ~w r), Fixed_point.Converged { iters = !evals })
       | exception (Roots.No_bracket | Roots.Not_converged _) ->
         (None, Fixed_point.Diverged { iters = !evals; residual = Float.abs (f lb) })
     end
-  end
-  else if f lb <= 0. then
-    (* Degenerate but healthy: the fixed point is at (or below) the
-       contention-free bound, as in [All_to_all.solve_brent]. *)
-    (Some (solution_of_r c params ~w lb), Fixed_point.Converged { iters = !evals })
-  else begin
-    match
-      let lo, hi = Roots.expand_bracket_upward ~f lb in
-      Roots.brent ~f lo hi
-    with
-    | r -> (Some (solution_of_r c params ~w r), Fixed_point.Converged { iters = !evals })
-    | exception (Roots.No_bracket | Roots.Not_converged _) ->
-      (None, Fixed_point.Diverged { iters = !evals; residual = Float.abs (f lb) })
-  end
+  with Budget_stop reason -> (None, Fixed_point.Exhausted { iters = !evals; reason })
 
 let solve ?probe c params ~w =
   match solve_status ?probe c params ~w with

@@ -96,11 +96,13 @@ type solution = {
 
 val solve_status :
   ?probe:Lopc_numerics.Solver_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   config -> Params.t -> w:float -> solution option * Lopc_numerics.Fixed_point.status
 (** Solve the faulty fixed point. Returns [Saturated] (with the inflated
     request utilization at the saturation floor) when the retry-inflated
     handler demand admits no stable cycle time, [Diverged] if root
-    bracketing fails; [iters] counts map evaluations.
+    bracketing fails, [Exhausted] when [budget] (consulted once per map
+    evaluation) stops the search; [iters] counts map evaluations.
     @raise Invalid_argument on invalid [config], [params] or [w]. *)
 
 val solve :

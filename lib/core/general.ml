@@ -81,7 +81,7 @@ let node_queues ~beta ~max_queue a b =
     (qq, qy)
   end
 
-let solve_status ?probe ?(tol = 1e-12) ?(max_iter = 200_000) t =
+let solve_status ?probe ?budget ?(tol = 1e-12) ?(max_iter = 200_000) t =
   (match validate t with
   | Ok _ -> ()
   | Error reason -> invalid_arg ("General: " ^ reason));
@@ -169,8 +169,8 @@ let solve_status ?probe ?(tol = 1e-12) ?(max_iter = 200_000) t =
           pr { ev with Solver_probe.hottest = hottest (analyze ev.Solver_probe.iterate) })
   in
   let outcome, status =
-    Fixed_point.solve_vector_status ?probe:fp_probe ~damping:0.1 ~tol ~max_iter ~f:step
-      x0
+    Fixed_point.solve_vector_status ?probe:fp_probe ?budget ~damping:0.1 ~tol ~max_iter
+      ~f:step x0
   in
   let x = outcome.Fixed_point.value in
   match status with
@@ -185,6 +185,9 @@ let solve_status ?probe ?(tol = 1e-12) ?(max_iter = 200_000) t =
           system_throughput = Array.fold_left ( +. ) 0. x;
         },
       status )
+  (* A budget stop is the caller's allowance ending, not a property of the
+     iterate — report it as-is rather than re-diagnosing saturation. *)
+  | Fixed_point.Exhausted _ -> (None, status)
   | _ ->
     (* Diagnose the stall from the last iterate: a node whose request
        handlers are driven to (or past) full utilization has no finite

@@ -60,11 +60,14 @@ val validate : t -> (t, string) result
 
 val solve_status :
   ?probe:Lopc_numerics.Solver_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   ?tol:float -> ?max_iter:int -> t -> solution option * Lopc_numerics.Fixed_point.status
 (** Solve the system A.1–A.10 and report a structured outcome. When the
     iteration stalls, the last iterate is inspected: a node whose
     request-handler utilization reached (or passed) 1 is reported as
     [Saturated] with the node index, anything else as [Diverged].
+    [budget] is consulted once per fixed-point iteration; a budget stop
+    is reported as [Exhausted] verbatim (no saturation re-diagnosis).
     Non-converged outcomes return no solution.
     @raise Invalid_argument when {!validate} fails. *)
 

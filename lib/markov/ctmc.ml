@@ -8,9 +8,40 @@ type 'state solution = {
 
 exception State_space_too_large of int
 
-let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initial
-    ~transitions () =
-  (* Phase 1: explore the reachable state space. *)
+type status =
+  | Converged of { iters : int }
+  | Not_converged of { iters : int; diff : float }
+  | Exhausted of { reason : Lopc_robust.Budget.stop_reason }
+  | Too_large of { max_states : int }
+
+let status_to_string = function
+  | Converged { iters } -> Printf.sprintf "converged in %d iterations" iters
+  | Not_converged { iters; diff } ->
+    Printf.sprintf "not converged after %d iterations (l1 diff %g)" iters diff
+  | Exhausted { reason } -> Lopc_robust.Budget.reason_to_string reason
+  | Too_large { max_states } ->
+    Printf.sprintf "state space exceeds %d states" max_states
+
+(* Local control-flow exception for budget stops: raised at the two loop
+   heads below and caught at the end of [solve_status], so callers only
+   ever see the [Exhausted] status. *)
+exception Budget_stop of Lopc_robust.Budget.stop_reason
+
+let solve_status ?budget ?(max_states = 2_000_000) ?(tol = 1e-12)
+    ?(max_iter = 200_000) ~initial ~transitions () =
+  try
+    (* [check_budget] lives inside the [try] so its raise is lexically
+       within the handler below (the exn-escape rule reasons lexically). *)
+    let check_budget () =
+      match budget with
+      | None -> ()
+      | Some b -> (
+        match Lopc_robust.Budget.check b with
+        | None -> ()
+        | Some reason -> raise (Budget_stop reason))
+    in
+    (* Phase 1: explore the reachable state space (one unit of fuel per
+       popped frontier state). *)
   let index : ('state, int) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref [] in
   let count = ref 0 in
@@ -39,30 +70,33 @@ let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initia
   Queue.push initial frontier;
   let explored = ref 0 in
   while not (Queue.is_empty frontier) do
-    let s = Queue.pop frontier in
-    let i = id_of s in
-    ensure i;
-    if (match (!rows).(i) with [] -> true | _ :: _ -> false) then begin
-      incr explored;
-      let out =
-        List.filter_map
-          (fun (s', rate) ->
-            if rate < 0. || not (Float.is_finite rate) then
-              invalid_arg "Ctmc.solve: non-positive or non-finite rate";
-            if Float.equal rate 0. then None
-            else begin
-              let before = !count in
-              let j = id_of s' in
-              if !count > before then Queue.push s' frontier;
-              (* Self-loops compare by id (int), not by polymorphic
-                 equality on the caller's state type. *)
-              if j = i then None else Some (j, rate)
-            end)
-          (transitions s)
-      in
-      (* Mark visited even for absorbing states. *)
-      (!rows).(i) <- (match out with [] -> [ (i, 0.) ] | _ :: _ -> out)
-    end
+    check_budget ();
+    match Queue.take_opt frontier with
+    | None -> ()
+    | Some s ->
+      let i = id_of s in
+      ensure i;
+      if (match (!rows).(i) with [] -> true | _ :: _ -> false) then begin
+        incr explored;
+        let out =
+          List.filter_map
+            (fun (s', rate) ->
+              if rate < 0. || not (Float.is_finite rate) then
+                invalid_arg "Ctmc.solve: non-positive or non-finite rate";
+              if Float.equal rate 0. then None
+              else begin
+                let before = !count in
+                let j = id_of s' in
+                if !count > before then Queue.push s' frontier;
+                (* Self-loops compare by id (int), not by polymorphic
+                   equality on the caller's state type. *)
+                if j = i then None else Some (j, rate)
+              end)
+            (transitions s)
+        in
+        (* Mark visited even for absorbing states. *)
+        (!rows).(i) <- (match out with [] -> [ (i, 0.) ] | _ :: _ -> out)
+      end
   done;
   let n = !count in
   let rows = Array.sub !rows 0 n in
@@ -73,7 +107,10 @@ let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initia
   let next = Array.make n 0. in
   let converged = ref false in
   let iter = ref 0 in
+  let last_diff = ref Float.infinity in
+  (* One unit of fuel per power iteration. *)
   while (not !converged) && !iter < max_iter do
+    check_budget ();
     incr iter;
     Array.fill next 0 n 0.;
     for i = 0 to n - 1 do
@@ -88,11 +125,28 @@ let solve ?(max_states = 2_000_000) ?(tol = 1e-12) ?(max_iter = 200_000) ~initia
       diff := !diff +. Float.abs (next.(i) -. pi.(i));
       pi.(i) <- next.(i)
     done;
+    last_diff := !diff;
     if !diff <= tol then converged := true
   done;
   let state_of_id = Array.make n initial in
   List.iteri (fun k s -> state_of_id.(n - 1 - k) <- s) !states;
-  { index; state_of_id; pi }
+  let sol = { index; state_of_id; pi } in
+  if !converged then (Some sol, Converged { iters = !iter })
+  else (Some sol, Not_converged { iters = !iter; diff = !last_diff })
+  with
+  | Budget_stop reason -> (None, Exhausted { reason })
+  | State_space_too_large max_states -> (None, Too_large { max_states })
+
+(* Legacy entry point: raises on overflow, silently returns the last
+   iterate past [max_iter] — exactly the old contract. *)
+let solve ?max_states ?tol ?max_iter ~initial ~transitions () =
+  match solve_status ?max_states ?tol ?max_iter ~initial ~transitions () with
+  | Some sol, _ -> sol
+  | None, Too_large { max_states } -> raise (State_space_too_large max_states)
+  | None, _ ->
+    (* No budget was passed, so neither [Exhausted] nor any other
+       solution-less status can occur. *)
+    assert false
 
 let states t = Array.length t.pi
 

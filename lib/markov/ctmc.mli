@@ -11,7 +11,36 @@ type 'state solution
 (** Stationary distribution over the reachable states. *)
 
 exception State_space_too_large of int
-(** Raised when exploration exceeds the state budget. *)
+(** Raised (by {!solve} only) when exploration exceeds the state budget. *)
+
+type status =
+  | Converged of { iters : int }
+      (** Power iteration met its tolerance after [iters] sweeps. *)
+  | Not_converged of { iters : int; diff : float }
+      (** [max_iter] sweeps without meeting the tolerance; [diff] is the
+          last L1 step. The returned distribution is the last iterate. *)
+  | Exhausted of { reason : Lopc_robust.Budget.stop_reason }
+      (** The budget stopped exploration or iteration; no solution. *)
+  | Too_large of { max_states : int }
+      (** Exploration exceeded [max_states]; no solution. *)
+
+val status_to_string : status -> string
+
+val solve_status :
+  ?budget:Lopc_robust.Budget.t ->
+  ?max_states:int ->
+  ?tol:float ->
+  ?max_iter:int ->
+  initial:'state ->
+  transitions:('state -> ('state * float) list) ->
+  unit ->
+  'state solution option * status
+(** Non-raising variant of {!solve}: state-space overflow comes back as
+    [Too_large] instead of an exception, a non-converged power iteration
+    is reported (with its last L1 step) instead of silent, and [budget] —
+    consulted once per explored state and once per power-iteration sweep
+    — stops the computation with [Exhausted]. Only raises
+    [Invalid_argument] (on a non-finite or negative rate). *)
 
 val solve :
   ?max_states:int ->

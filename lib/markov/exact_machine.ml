@@ -30,7 +30,9 @@ let append_nth lst i v = List.mapi (fun j x -> if j = i then x @ [ v ] else x) l
 let pop_nth lst i =
   List.mapi (fun j x -> if j = i then match x with [] -> [] | _ :: t -> t else x) lst
 
-let all_to_all ?max_states ~p ~w ~so ~st () =
+(* Validated machine: the chain's initial state and transition function,
+   shared by the raising and the status-returning entry points. *)
+let model ~p ~w ~so ~st =
   if p < 2 then invalid_arg "Exact_machine: need at least two nodes";
   List.iter
     (fun (name, v) ->
@@ -96,7 +98,10 @@ let all_to_all ?max_states ~p ~w ~so ~st () =
       s.queues;
     !moves
   in
-  let sol = Ctmc.solve ?max_states ~initial ~transitions () in
+  (initial, transitions)
+
+(* Steady-state aggregates of a solved chain. *)
+let aggregate ~mu_so sol =
   (* Per-node completion rate: head of node 0's FIFO is a reply. *)
   let head_is queue pred = match queue with h :: _ -> pred h | [] -> false in
   let throughput =
@@ -123,3 +128,14 @@ let all_to_all ?max_states ~p ~w ~so ~st () =
           if head_is (nth s.queues 0) (function Rep -> true | Req _ -> false) then 1.
           else 0.);
   }
+
+let all_to_all ?max_states ~p ~w ~so ~st () =
+  let initial, transitions = model ~p ~w ~so ~st in
+  let sol = Ctmc.solve ?max_states ~initial ~transitions () in
+  aggregate ~mu_so:(1. /. so) sol
+
+let all_to_all_status ?budget ?max_states ~p ~w ~so ~st () =
+  let initial, transitions = model ~p ~w ~so ~st in
+  match Ctmc.solve_status ?budget ?max_states ~initial ~transitions () with
+  | Some sol, status -> (Some (aggregate ~mu_so:(1. /. so) sol), status)
+  | None, status -> (None, status)

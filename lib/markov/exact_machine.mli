@@ -16,8 +16,7 @@
     working, request in the wire, request at the destination, reply in
     the wire, reply at home — plus the FIFO content of every node's
     handler queue. The state space grows quickly: [p = 2] has a few
-    dozen states, [p = 3] a few thousand, [p = 4] hundreds of
-    thousands. *)
+    dozen states, [p = 3] a few hundred, [p = 4] several thousand. *)
 
 type result = {
   states : int;           (** Reachable CTMC states. *)
@@ -36,3 +35,15 @@ val all_to_all :
     [max_states] defaults to [2_000_000].
     @raise Invalid_argument on non-positive parameters.
     @raise Ctmc.State_space_too_large if [p] is too ambitious. *)
+
+val all_to_all_status :
+  ?budget:Lopc_robust.Budget.t ->
+  ?max_states:int ->
+  p:int -> w:float -> so:float -> st:float -> unit ->
+  result option * Ctmc.status
+(** Non-raising variant of {!all_to_all} for supervised callers (the
+    degradation cascade): state-space overflow, a non-converged power
+    iteration, and budget stops come back as a {!Ctmc.status} instead of
+    an exception or a silent wrong answer. [budget] is consulted once per
+    explored CTMC state and once per power-iteration sweep. Only raises
+    [Invalid_argument] on invalid machine parameters. *)

@@ -83,8 +83,8 @@ let hottest_station ~stations x =
     stations;
   !best
 
-let solve_status ?probe ?(approximation = Bard) ?(use_scv = true) ?(think_time = 0.)
-    ?(tol = 1e-12) ?(max_iter = 100_000) ~stations ~population () =
+let solve_status ?probe ?budget ?(approximation = Bard) ?(use_scv = true)
+    ?(think_time = 0.) ?(tol = 1e-12) ?(max_iter = 100_000) ~stations ~population () =
   validate_inputs ~think_time ~stations ~population;
   let k = Array.length stations in
   let n = Float.of_int population in
@@ -132,8 +132,8 @@ let solve_status ?probe ?(approximation = Bard) ?(use_scv = true) ?(think_time =
             p { ev with Solver_probe.hottest = hottest_station ~stations x })
     in
     let outcome, status =
-      Fixed_point.solve_vector_status ?probe:fp_probe ~damping:0.5 ~tol ~max_iter
-        ~f:step q0
+      Fixed_point.solve_vector_status ?probe:fp_probe ?budget ~damping:0.5 ~tol
+        ~max_iter ~f:step q0
     in
     let queues = outcome.Fixed_point.value in
     let x = consistent_throughput ~stations ~arrival_factor ~use_scv ~think_time ~n queues in
@@ -153,6 +153,9 @@ let solve_status ?probe ?(approximation = Bard) ?(use_scv = true) ?(think_time =
                 stations;
           },
         status )
+    (* A budget stop means the caller's allowance ended, not that the
+       iterate says anything about the model — keep it verbatim. *)
+    | Fixed_point.Exhausted _ -> (None, status)
     | _ ->
       (* Diagnose the stall from the last iterate: a queueing station
          pinned at (or past) full per-server utilization is saturation —

@@ -21,6 +21,7 @@ type approximation =
 
 val solve_status :
   ?probe:Lopc_numerics.Solver_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   ?approximation:approximation ->
   ?use_scv:bool ->
   ?think_time:float ->
@@ -45,6 +46,10 @@ val solve_status :
     set to the most utilized queueing station at that iterate's implied
     throughput — on a [Saturated] outcome the probe's last [hottest]
     names the same station the status reports.
+
+    [budget] is consulted once per fixed-point iteration; a budget stop
+    is reported as [Exhausted] verbatim, never re-diagnosed as
+    saturation.
 
     @raise Invalid_argument on invalid inputs. Unlike {!Exact_mva.solve},
     every invalid station is reported at once, with its index — e.g.

@@ -1,16 +1,21 @@
+module Budget = Lopc_robust.Budget
+
 type outcome = { value : float array; iterations : int; residual : float }
 
 type status =
   | Converged of { iters : int }
   | Saturated of { station : int; utilization : float }
   | Diverged of { iters : int; residual : float }
+  | Exhausted of { iters : int; reason : Budget.stop_reason }
 
 (* The raising entry points below predate the structured [status] type and
    are kept unchanged; type-directed disambiguation separates the exception
    from the [status] constructor of the same name. *)
 exception Diverged of string
 
-let is_converged = function Converged _ -> true | Saturated _ | Diverged _ -> false
+let is_converged = function
+  | Converged _ -> true
+  | Saturated _ | Diverged _ | Exhausted _ -> false
 
 let pp_status ppf = function
   | Converged { iters } -> Format.fprintf ppf "converged in %d iterations" iters
@@ -18,18 +23,33 @@ let pp_status ppf = function
       Format.fprintf ppf "saturated at station %d (utilization %.4f)" station utilization
   | Diverged { iters; residual } ->
       Format.fprintf ppf "diverged after %d iterations (residual %g)" iters residual
+  | Exhausted { iters; reason } ->
+      Format.fprintf ppf "stopped after %d iterations: %s" iters
+        (Budget.reason_to_string reason)
 
 let status_to_string s = Format.asprintf "%a" pp_status s
 
 (* Shared core for the scalar solvers: returns the last iterate, the
    structured status, and a human-readable reason used by the raising
    wrapper. *)
-let scalar_impl ?probe ~damping ~tol ~max_iter ~f ~name x0 =
+let scalar_impl ?probe ?budget ~damping ~tol ~max_iter ~f ~name x0 =
   if damping <= 0. || damping > 1. then invalid_arg (name ^ ": damping");
   let x = ref x0 in
   let answer : (float * status * string) option ref = ref None in
   (try
      for iter = 1 to max_iter do
+       (match budget with
+       | None -> ()
+       | Some b -> (
+         match Budget.check b with
+         | None -> ()
+         | Some reason ->
+           answer :=
+             Some
+               ( !x,
+                 Exhausted { iters = iter - 1; reason },
+                 "scalar iteration stopped: " ^ Budget.reason_to_string reason );
+           raise Exit));
        let fx = f !x in
        if not (Float.is_finite fx) then begin
          answer :=
@@ -66,10 +86,11 @@ let scalar_impl ?probe ~damping ~tol ~max_iter ~f ~name x0 =
         Diverged { iters = max_iter; residual },
         "scalar iteration budget exhausted" )
 
-let solve_scalar_status ?probe ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+let solve_scalar_status ?probe ?budget ?(damping = 1.) ?(tol = 1e-10)
+    ?(max_iter = 10_000) ~f x0 =
   let x, status, _ =
-    scalar_impl ?probe ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_scalar_status"
-      x0
+    scalar_impl ?probe ?budget ~damping ~tol ~max_iter ~f
+      ~name:"Fixed_point.solve_scalar_status" x0
   in
   (x, status)
 
@@ -84,13 +105,25 @@ let max_norm_diff a b =
   !m
 
 (* Shared core for the vector solvers, mirroring [scalar_impl]. *)
-let vector_impl ?probe ~damping ~tol ~max_iter ~f ~name x0 =
+let vector_impl ?probe ?budget ~damping ~tol ~max_iter ~f ~name x0 =
   if damping <= 0. || damping > 1. then invalid_arg (name ^ ": damping");
   let n = Array.length x0 in
   let x = ref (Array.copy x0) in
   let result : (outcome * status * string) option ref = ref None in
   (try
      for iter = 1 to max_iter do
+       (match budget with
+       | None -> ()
+       | Some b -> (
+         match Budget.check b with
+         | None -> ()
+         | Some reason ->
+           result :=
+             Some
+               ( { value = !x; iterations = iter - 1; residual = Float.nan },
+                 Exhausted { iters = iter - 1; reason },
+                 "vector iteration stopped: " ^ Budget.reason_to_string reason );
+           raise Exit));
        let fx = f !x in
        if Array.length fx <> n then begin
          result :=
@@ -148,10 +181,11 @@ let vector_impl ?probe ~damping ~tol ~max_iter ~f ~name x0 =
         Diverged { iters = max_iter; residual },
         "vector iteration budget exhausted" )
 
-let solve_vector_status ?probe ?(damping = 1.) ?(tol = 1e-10) ?(max_iter = 10_000) ~f x0 =
+let solve_vector_status ?probe ?budget ?(damping = 1.) ?(tol = 1e-10)
+    ?(max_iter = 10_000) ~f x0 =
   let outcome, status, _ =
-    vector_impl ?probe ~damping ~tol ~max_iter ~f ~name:"Fixed_point.solve_vector_status"
-      x0
+    vector_impl ?probe ?budget ~damping ~tol ~max_iter ~f
+      ~name:"Fixed_point.solve_vector_status" x0
   in
   (outcome, status)
 

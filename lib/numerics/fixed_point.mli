@@ -20,9 +20,14 @@ type status =
           ([Amva], [All_to_all], [General], [Fault_model]) which know which
           station saturated; the raw iteration itself never reports it. *)
   | Diverged of { iters : int; residual : float }
-      (** The iteration left the finite domain or exhausted its budget;
+      (** The iteration left the finite domain or used up [max_iter];
           [residual] is the last max-norm of [F x − x] ([nan] when the map
           produced non-finite values). *)
+  | Exhausted of { iters : int; reason : Lopc_robust.Budget.stop_reason }
+      (** An explicit {!Lopc_robust.Budget.t} stopped the iteration —
+          fuel ran out or the cancel token flipped — after [iters]
+          complete steps. Distinct from [Diverged]: exhaustion says the
+          caller-imposed allowance ended, not that the map misbehaved. *)
 (** Structured solver outcome shared by every fixed-point solver in the
     repository — no solve entry point returns silently after [max_iter]. *)
 
@@ -54,6 +59,7 @@ val solve_scalar :
 
 val solve_scalar_status :
   ?probe:Solver_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   ?damping:float ->
   ?tol:float ->
   ?max_iter:int ->
@@ -65,7 +71,10 @@ val solve_scalar_status :
     [Diverged _] the returned float is the last finite iterate (not a
     solution). [probe], when given, receives one {!Solver_probe.event}
     per iteration (before the convergence test, so the converging step
-    is included); it does not alter the iteration. Only raises
+    is included); it does not alter the iteration. [budget], when given,
+    is consulted once at the top of every iteration (one unit of fuel per
+    iteration); when it stops the run the result is
+    [Exhausted _] and the returned float is the last iterate. Only raises
     [Invalid_argument] on a bad [damping]. *)
 
 val solve_vector :
@@ -81,6 +90,7 @@ val solve_vector :
 
 val solve_vector_status :
   ?probe:Solver_probe.t ->
+  ?budget:Lopc_robust.Budget.t ->
   ?damping:float ->
   ?tol:float ->
   ?max_iter:int ->
@@ -89,7 +99,7 @@ val solve_vector_status :
   outcome * status
 (** Non-raising variant of {!solve_vector}. On [Diverged _] the returned
     [outcome.value] is the last finite iterate, which model-level callers
-    use to diagnose saturation. [probe] is as in
+    use to diagnose saturation. [probe] and [budget] are as in
     {!solve_scalar_status}, with the full iterate copied per event. Only
     raises [Invalid_argument] on a bad [damping]. *)
 

@@ -15,6 +15,10 @@ let trim a =
     decr n
   done;
   Array.sub a 0 !n
+[@@lint.allow
+  "unbounded-retry"
+    "[!n] strictly decreases from the coefficient count and the loop stops at \
+     1, so it runs at most [Array.length a] times"]
 
 let of_coeffs a =
   if Array.length a = 0 then invalid_arg "Polynomial.of_coeffs: empty coefficient array";

@@ -1,0 +1,45 @@
+(* Process-wide robustness counters: how often the degradation cascade
+   fell back, failed outright, or a budget stopped a computation. Plain
+   monotone atomics — cheap enough to bump from any domain, read by the
+   CLI / bench reporting after a run. Counters are observability, never
+   control flow: nothing reads them to make a decision, so they do not
+   compromise determinism of results even though their totals depend on
+   scheduling when runs overlap. *)
+
+type t = {
+  degradations : int Atomic.t;  (* cascade stages that fell through *)
+  cascade_failures : int Atomic.t;  (* cascades with no surviving stage *)
+  exhaustions : int Atomic.t;  (* budget stops observed (fuel or cancel) *)
+}
+
+let create () =
+  {
+    degradations = Atomic.make 0;
+    cascade_failures = Atomic.make 0;
+    exhaustions = Atomic.make 0;
+  }
+
+(* One shared instance: the cascade sites are spread across artifacts and
+   the CLI, and the interesting number is the per-process total. *)
+let global = create ()
+
+let record_degradation t = Atomic.incr t.degradations
+
+let record_cascade_failure t = Atomic.incr t.cascade_failures
+
+let record_exhaustion t = Atomic.incr t.exhaustions
+
+let degradations t = Atomic.get t.degradations
+
+let cascade_failures t = Atomic.get t.cascade_failures
+
+let exhaustions t = Atomic.get t.exhaustions
+
+let reset t =
+  Atomic.set t.degradations 0;
+  Atomic.set t.cascade_failures 0;
+  Atomic.set t.exhaustions 0
+
+let summary t =
+  Printf.sprintf "degradations=%d cascade_failures=%d exhaustions=%d"
+    (degradations t) (cascade_failures t) (exhaustions t)

@@ -1,0 +1,33 @@
+(** Robustness counters: degradation and budget-exhaustion totals.
+
+    Monotone atomic counters bumped by the degradation cascade's
+    [on_event] hook and by callers observing [Exhausted] solver statuses;
+    read by the CLI and bench reporting. Pure observability — nothing in
+    the computation path reads them. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, zeroed counter set. *)
+
+val global : t
+(** The process-wide instance the artifact cascades report into. *)
+
+val record_degradation : t -> unit
+(** One cascade stage failed and a cheaper stage was tried. *)
+
+val record_cascade_failure : t -> unit
+(** A cascade ran out of stages without producing a value. *)
+
+val record_exhaustion : t -> unit
+(** A budget stopped a solver or simulation (fuel or cancellation). *)
+
+val degradations : t -> int
+val cascade_failures : t -> int
+val exhaustions : t -> int
+
+val reset : t -> unit
+(** Zero every counter (tests and per-run CLI reporting). *)
+
+val summary : t -> string
+(** One-line [key=value] rendering of the totals. *)

@@ -725,6 +725,117 @@ let exact_comparison_plan ~fidelity ~seed =
             "LoPC err %" ];
   }
 
+(* Short space-free reason tokens for provenance cells. *)
+let ctmc_reason = function
+  | Lopc_markov.Ctmc.Converged _ -> "converged"
+  | Lopc_markov.Ctmc.Not_converged _ -> "not-converged"
+  | Lopc_markov.Ctmc.Exhausted { reason } ->
+    (match reason with
+    | Lopc_robust.Budget.Cancelled -> "cancelled"
+    | Lopc_robust.Budget.Fuel_exhausted _ -> "exhausted")
+  | Lopc_markov.Ctmc.Too_large _ -> "state-space"
+
+let fixed_point_reason = function
+  | Lopc_numerics.Fixed_point.Converged _ -> "converged"
+  | Lopc_numerics.Fixed_point.Saturated _ -> "saturated"
+  | Lopc_numerics.Fixed_point.Diverged _ -> "diverged"
+  | Lopc_numerics.Fixed_point.Exhausted { reason; _ } ->
+    (match reason with
+    | Lopc_robust.Budget.Cancelled -> "cancelled"
+    | Lopc_robust.Budget.Fuel_exhausted _ -> "exhausted")
+
+(* Degradation cascade demo artifact: the same cycle time asked of three
+   tiers — exact CTMC, the approximate LoPC model, the contention-free
+   bound — each under a deterministic fuel budget, falling back on
+   failure instead of failing the row. Budgets are fuel-based and created
+   per point, so the table (including every provenance cell) is
+   byte-identical at any [--jobs]. The sweep is built to exercise each
+   path in CI: small machines solve exactly, [p = 4] deterministically
+   overflows the capped state space and degrades to the model, and one
+   adversarial point starves the model stage too, landing on the bound. *)
+let degradation_cascade_plan () =
+  let so = 200. and st = 40. in
+  (* Below p = 4's ~9k reachable states, above p = 3's ~400: the cap is
+     what makes the [state-space] degradation fire deterministically. *)
+  let max_states = 2_000 in
+  (* Each point carries the model stage's fuel: ample everywhere except
+     the last (p = 4) point, which is deliberately starved — two residual
+     evaluations are never enough for Brent — so the cascade must fall
+     through to the bound, exercising the [exhausted] path in CI. *)
+  let model_fuel = 20_000 in
+  let points =
+    List.concat_map
+      (fun p -> List.map (fun w -> (p, w, model_fuel)) [ 200.; 1000. ])
+      [ 2; 3 ]
+    @ [ (4, 200., model_fuel); (4, 1000., 2) ]
+  in
+  let counters = Lopc_obs.Counters.global in
+  let on_event = function
+    | Lopc_robust.Cascade.Degraded { reason; _ } ->
+      Lopc_obs.Counters.record_degradation counters;
+      if reason = "exhausted" || reason = "cancelled" then
+        Lopc_obs.Counters.record_exhaustion counters
+    | Lopc_robust.Cascade.Exhausted_all _ ->
+      Lopc_obs.Counters.record_cascade_failure counters
+  in
+  {
+    tasks =
+      pure_tasks points (fun (p, w, model_fuel) ->
+          let params = Params.create ~c2:1. ~p ~st ~so () in
+          let exact () =
+            let budget = Lopc_robust.Budget.create ~fuel:400_000 () in
+            match
+              Lopc_markov.Exact_machine.all_to_all_status ~budget ~max_states ~p ~w
+                ~so ~st ()
+            with
+            | Some r, _ -> Ok r.Lopc_markov.Exact_machine.cycle_time
+            | None, status -> Error (ctmc_reason status)
+          in
+          let model () =
+            let budget = Lopc_robust.Budget.create ~fuel:model_fuel () in
+            match A.solve_status ~budget params ~w with
+            | Some s, _ -> Ok s.A.r
+            | None, status -> Error (fixed_point_reason status)
+          in
+          let bound () = Ok (A.lower_bound params ~w) in
+          let outcome =
+            Lopc_robust.Cascade.run ~on_event
+              [
+                Lopc_robust.Cascade.attempt "exact" exact;
+                Lopc_robust.Cascade.attempt "amva" model;
+                Lopc_robust.Cascade.attempt "bound" bound;
+              ]
+          in
+          let r = match outcome.Lopc_robust.Cascade.value with
+            | Some r -> r
+            | None -> Float.nan
+          in
+          let trail =
+            match outcome.Lopc_robust.Cascade.trail with
+            | [] -> "-"
+            | trail ->
+              String.concat ","
+                (List.map (fun (stage, reason) -> stage ^ "=" ^ reason) trail)
+          in
+          [
+            [
+              Table.Int p;
+              Table.Float w;
+              Table.Float r;
+              Table.Text outcome.Lopc_robust.Cascade.provenance;
+              Table.Text trail;
+            ];
+          ]);
+    assemble =
+      Table.of_row_groups
+        ~caption:
+          "Graceful degradation: cycle time from the best tier whose budget \
+           allows it (exact CTMC, capped at 2k states -> LoPC model -> \
+           contention-free bound). 'source' is the provenance of each row; \
+           'trail' the stages that fell through and why. So=200, St=40, C2=1."
+        ~columns:[ "P"; "W"; "R"; "source"; "trail" ];
+  }
+
 let fault_sweep_plan ?trace_dir ~fidelity ~seed =
   let p = 16 and w = 1000. and so = 200. and c2 = 1. in
   let st = wire_latency in
@@ -821,6 +932,7 @@ let plans ?(fidelity = Full) ?(seed = 42) ?trace_dir () =
     ("assumptions", assumptions_audit_plan ~fidelity ~seed);
     ("network", network_contention_plan ~fidelity ~seed);
     ("exact", exact_comparison_plan ~fidelity ~seed);
+    ("cascade", degradation_cascade_plan ());
     ("fault", fault_sweep_plan ?trace_dir ~fidelity ~seed);
   ]
 
@@ -865,6 +977,8 @@ let network_contention ?(fidelity = Full) ?(seed = 42) () =
 
 let exact_comparison ?(fidelity = Full) ?(seed = 42) () =
   run_plan (exact_comparison_plan ~fidelity ~seed)
+
+let degradation_cascade () = run_plan (degradation_cascade_plan ())
 
 let fault_sweep ?(fidelity = Full) ?(seed = 42) () =
   run_plan (fault_sweep_plan ?trace_dir:None ~fidelity ~seed)

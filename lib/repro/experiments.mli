@@ -157,6 +157,15 @@ val exact_comparison : ?fidelity:fidelity -> ?seed:int -> unit -> Table.t
     the LoPC model — the model's true approximation error without
     sampling noise. *)
 
+val degradation_cascade : unit -> Table.t
+(** Graceful degradation demo: the cycle time of small machines from the
+    best tier whose (deterministic, fuel-based) budget allows it — exact
+    CTMC, then the approximate LoPC model, then the contention-free bound
+    — with a provenance column naming each row's source and a trail
+    column listing the stages that fell through and why. Degradation
+    events are counted in {!Lopc_obs.Counters.global}. Budgets are
+    per-point fuel, so the table is byte-identical at any [--jobs]. *)
+
 val fault_sweep : ?fidelity:fidelity -> ?seed:int -> unit -> Table.t
 (** Fault tolerance: faulty all-to-all cycle time across a loss ladder
     ([ℓ ∈ {0, 1, 2, 5}%]) plus duplication and delay-spike scenarios

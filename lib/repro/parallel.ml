@@ -182,9 +182,13 @@ let with_pool ?jobs f =
 (* --- batch submission ---------------------------------------------------- *)
 
 let collect results =
-  (* Deterministic error policy: the lowest-indexed failure wins. *)
+  (* Deterministic error policy: the lowest-indexed failure wins. The
+     re-raise keeps the backtrace captured at the original raise site in
+     the worker, not a fresh one from this merge point. *)
   Array.iter
-    (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
     results;
   Array.map
     (function
@@ -198,7 +202,12 @@ let run t tasks =
   else begin
     let results = Array.make n None in
     let run_task i =
-      results.(i) <- Some (try Ok (tasks.(i) ()) with e -> Error e)
+      results.(i) <-
+        Some
+          (try Ok (tasks.(i) ())
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Error (e, bt))
     in
     if t.n_jobs = 1 then
       (* Serial reference path: inline, in index order, no domains. *)

@@ -37,7 +37,9 @@ val run : t -> (unit -> 'a) array -> 'a array
     order: [(run pool tasks).(i)] is the value of [tasks.(i) ()], whatever
     worker ran it and in whatever order. If tasks raise, the exception of
     the lowest-indexed failing task is re-raised (deterministically) after
-    all tasks have settled. Batches are serialised per pool: concurrent
+    all tasks have settled, with the backtrace captured at the original
+    raise site in the worker ([Printexc.raise_with_backtrace]), not a
+    fresh one from the merge point. Batches are serialised per pool: concurrent
     [run] calls on one pool from several domains are not supported.
     @raise Invalid_argument when called on a shut-down pool. *)
 

@@ -1,0 +1,98 @@
+(* Supervised batch execution on top of [Parallel]: per-task cancellation
+   tokens, a fail-fast or collect-all error policy, and a monitor other
+   domains may poll to spot stuck tasks.
+
+   The pool layer below stays exception-free: every task body is wrapped
+   so its result — value, exception with the backtrace captured at the
+   raise site, or skip — is stored as an [outcome]. Policy is applied at
+   the wrapper, not the scheduler: Fail_fast merely cancels the batch
+   token on the first failure, so running tasks stop at their next poll
+   and unstarted tasks settle as [Skipped]. Which tasks get skipped
+   therefore depends on the schedule — fail-fast is a latency policy, not
+   a deterministic one; deterministic artifacts use Collect_all (or no
+   failures). *)
+
+module Cancel = Lopc_robust.Cancel
+
+type policy = Fail_fast | Collect_all
+
+type 'a outcome =
+  | Completed of 'a
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+  | Skipped
+
+exception Cancelled_task of int
+
+(* Task states for the monitor: pending = 0, running = 1, settled = 2.
+   Plain ints behind Atomic.t so a watchdog domain can read them while
+   workers write. *)
+type monitor = { states : int Atomic.t array }
+
+let monitor n = { states = Array.init n (fun _ -> Atomic.make 0) }
+
+let task_count m = Array.length m.states
+
+let in_flight m =
+  let running = ref [] in
+  for i = Array.length m.states - 1 downto 0 do
+    if Atomic.get m.states.(i) = 1 then running := i :: !running
+  done;
+  !running
+
+let settled m =
+  Array.fold_left (fun acc s -> if Atomic.get s = 2 then acc + 1 else acc) 0 m.states
+
+let supervise ?pool ?(policy = Collect_all) ?cancel ?tokens ?monitor:mon tasks =
+  let n = Array.length tasks in
+  let batch = match cancel with Some c -> c | None -> Cancel.create () in
+  let tokens =
+    match tokens with
+    | Some ts ->
+      if Array.length ts <> n then
+        invalid_arg "Supervisor.supervise: one token per task";
+      ts
+    | None -> Array.init n (fun _ -> Cancel.create ~parent:batch ())
+  in
+  (match mon with
+  | Some m ->
+    if Array.length m.states <> n then
+      invalid_arg "Supervisor.supervise: monitor sized for a different batch"
+  | None -> ());
+  let mark i v =
+    match mon with None -> () | Some m -> Atomic.set m.states.(i) v
+  in
+  let wrapped i () =
+    mark i 1;
+    let outcome =
+      if Cancel.cancelled tokens.(i) then Skipped
+      else begin
+        try Completed (tasks.(i) tokens.(i))
+        with e ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          if policy = Fail_fast then Cancel.cancel batch;
+          Failed { exn = e; backtrace }
+      end
+    in
+    mark i 2;
+    outcome
+  in
+  let thunks = Array.init n wrapped in
+  match pool with
+  | Some pool -> Parallel.run pool thunks
+  | None -> Array.map (fun f -> f ()) thunks
+
+let join outcomes =
+  (* Deterministic merge in index order: the lowest-indexed failure wins,
+     keeping its original backtrace; the lowest-indexed skip surfaces only
+     when nothing failed. *)
+  Array.iter
+    (function
+      | Failed { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace
+      | Completed _ | Skipped -> ())
+    outcomes;
+  Array.iteri
+    (fun i -> function Skipped -> raise (Cancelled_task i) | Completed _ | Failed _ -> ())
+    outcomes;
+  Array.map
+    (function Completed v -> v | Skipped | Failed _ -> assert false)
+    outcomes

@@ -1,0 +1,74 @@
+(** Supervised batch execution: per-task cancellation, error policies,
+    and a pollable monitor for stuck-task detection.
+
+    A supervised task takes its own {!Lopc_robust.Cancel.t} (typically
+    wired into a solver or simulator budget) and the supervisor settles
+    every task into an {!outcome} instead of letting exceptions tear
+    through the pool. Built on {!Parallel}, which stays exception-free
+    underneath. *)
+
+type policy =
+  | Fail_fast
+      (** Cancel the whole batch at the first failure. Running tasks stop
+          at their next cancellation poll; unstarted ones settle as
+          [Skipped]. A latency policy: {e which} tasks end up skipped
+          depends on the schedule, so deterministic artifacts should not
+          rely on the completion set — only on the structural guarantees
+          (every task settles, the first failure is preserved). *)
+  | Collect_all
+      (** Run every task to its own conclusion; failures accumulate in
+          the outcome array. Deterministic: the outcome of each task is a
+          function of the task alone. *)
+
+type 'a outcome =
+  | Completed of 'a
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+      (** The task raised; [backtrace] was captured at the raise site in
+          the worker. *)
+  | Skipped  (** Cancelled before the task body started. *)
+
+exception Cancelled_task of int
+(** Raised by {!join} for the lowest-indexed [Skipped] outcome when no
+    task failed. *)
+
+type monitor
+(** Shared task-state table: pending / running / settled per task, each
+    an atomic a watchdog domain may read while workers write. *)
+
+val monitor : int -> monitor
+(** [monitor n] is a fresh monitor for a batch of [n] tasks. *)
+
+val task_count : monitor -> int
+
+val in_flight : monitor -> int list
+(** Indices currently running, ascending — a racy snapshot, exact only
+    once the batch has settled. A task index that stays in this list
+    across successive polls is the stuck-task signal: the poller (a
+    wall-clock watchdog, confined to [bin/]) can then cancel its token
+    and report which task wedged. *)
+
+val settled : monitor -> int
+(** How many tasks have settled (completed, failed, or skipped). *)
+
+val supervise :
+  ?pool:Parallel.t ->
+  ?policy:policy ->
+  ?cancel:Lopc_robust.Cancel.t ->
+  ?tokens:Lopc_robust.Cancel.t array ->
+  ?monitor:monitor ->
+  (Lopc_robust.Cancel.t -> 'a) array ->
+  'a outcome array
+(** [supervise tasks] runs every task — on [pool] when given, inline in
+    index order otherwise — and settles each into an outcome; it never
+    raises from a task. [cancel] is the batch token (fresh by default);
+    [tokens], when given, supplies each task's own token (defaults to
+    fresh children of the batch token, so cancelling the batch cancels
+    every task). [policy] defaults to [Collect_all]. [monitor] must have
+    been created for the same task count.
+    @raise Invalid_argument on a mis-sized [tokens] or [monitor]. *)
+
+val join : 'a outcome array -> 'a array
+(** Unwrap an all-[Completed] batch. Otherwise re-raises the
+    lowest-indexed failure with its original backtrace
+    ([Printexc.raise_with_backtrace]); if nothing failed but tasks were
+    skipped, raises {!Cancelled_task} with the lowest skipped index. *)

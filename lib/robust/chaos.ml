@@ -1,0 +1,46 @@
+(* Scripted fault plans for the robustness tests. A plan is data — "cancel
+   task 3 at iteration 40", "task 1 raises", "task 5 gets 17 units of
+   fuel" — interpreted by the test harness when it builds each task's
+   budget and body. Keeping the plan first-order makes qcheck shrinking
+   meaningful (a failing plan prints and shrinks like any value) and the
+   injected faults deterministic: the same plan always fails at the same
+   program point, on any domain count. *)
+
+type fault =
+  | Cancel_at_iteration of { task : int; iteration : int }
+      (* flip the task's cancel token once its iteration counter reaches
+         [iteration] *)
+  | Raise_at_task of int (* the task body raises [Injected_failure] *)
+  | Exhaust_fuel_at_point of { task : int; fuel : int }
+      (* the task's budget carries only [fuel] units *)
+
+type plan = fault list
+
+exception Injected_failure of int
+
+let raises plan i =
+  List.exists (function Raise_at_task j -> j = i | _ -> false) plan
+
+let fuel_for plan i =
+  List.find_map
+    (function
+      | Exhaust_fuel_at_point { task; fuel } when task = i -> Some fuel
+      | _ -> None)
+    plan
+
+let cancel_iteration plan i =
+  List.find_map
+    (function
+      | Cancel_at_iteration { task; iteration } when task = i -> Some iteration
+      | _ -> None)
+    plan
+
+let fault_to_string = function
+  | Cancel_at_iteration { task; iteration } ->
+    Printf.sprintf "cancel(task=%d,iter=%d)" task iteration
+  | Raise_at_task i -> Printf.sprintf "raise(task=%d)" i
+  | Exhaust_fuel_at_point { task; fuel } ->
+    Printf.sprintf "exhaust(task=%d,fuel=%d)" task fuel
+
+let plan_to_string plan =
+  "[" ^ String.concat "; " (List.map fault_to_string plan) ^ "]"

@@ -1,0 +1,36 @@
+(** Scripted fault plans for deterministic chaos testing.
+
+    A plan is plain data describing which tasks of a batch misbehave and
+    how; the test harness interprets it when building each task's budget,
+    cancel token, and body. Because the faults key on iteration counts and
+    task indices — never time — a plan reproduces the same failure at the
+    same program point on every run and domain count, and shrinks cleanly
+    under qcheck. *)
+
+type fault =
+  | Cancel_at_iteration of { task : int; iteration : int }
+      (** Flip the task's cancel token when its iteration counter reaches
+          [iteration]. *)
+  | Raise_at_task of int
+      (** The task body raises {!Injected_failure} with its own index. *)
+  | Exhaust_fuel_at_point of { task : int; fuel : int }
+      (** The task's budget carries only [fuel] units of fuel. *)
+
+type plan = fault list
+
+exception Injected_failure of int
+(** The distinguished exception injected by [Raise_at_task]. *)
+
+val raises : plan -> int -> bool
+(** Does the plan make task [i] raise? *)
+
+val fuel_for : plan -> int -> int option
+(** The (first) fuel limit the plan assigns to task [i], if any. *)
+
+val cancel_iteration : plan -> int -> int option
+(** The (first) iteration at which the plan cancels task [i], if any. *)
+
+val fault_to_string : fault -> string
+
+val plan_to_string : plan -> string
+(** Render a plan for qcheck counterexample reports. *)

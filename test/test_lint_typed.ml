@@ -596,6 +596,78 @@ let test_obs_outside_dir_silent () =
   hits "wall clock outside lib/obs is out of scope" []
     (analyze ~source:"lib/fixture/fixture.ml" src)
 
+(* --- unbounded-retry ----------------------------------------------------- *)
+
+let test_retry_unbounded_while_fires () =
+  let src =
+    "let settle n =\n"
+    ^ "  let r = ref n in\n"
+    ^ "  while !r > 0 do r := !r - 1 done;\n"
+    ^ "  !r\n"
+    ^ "let solve_status n = settle n"
+  in
+  match analyze src with
+  | [ f ] ->
+    hits "bare while reachable from solve_status" [ ("unbounded-retry", 3) ] [ f ];
+    check_contains "chain names the entry" f "Fixture.solve_status -> Fixture.settle"
+  | fs -> Alcotest.failf "expected one retry finding, got %d" (List.length fs)
+
+let test_retry_eventsim_dir_is_entry () =
+  (* Anything under lib/eventsim is an entry by directory, no name needed. *)
+  let src =
+    "let drain n =\n"
+    ^ "  let r = ref n in\n"
+    ^ "  while !r > 0 do r := !r - 1 done;\n"
+    ^ "  !r"
+  in
+  hits "simulator loop flagged by directory"
+    [ ("unbounded-retry", 3) ]
+    (analyze ~source:"lib/eventsim/fixture.ml" src)
+
+let test_retry_bound_ident_silent () =
+  (* The granularity is the definition: any budget-ish identifier in the
+     body ([max_iter] here) excuses its loops. *)
+  let src =
+    "let settle ~max_iter n =\n"
+    ^ "  let r = ref n and i = ref 0 in\n"
+    ^ "  while !r > 0 && !i < max_iter do incr i; r := !r - 1 done;\n"
+    ^ "  !r\n"
+    ^ "let solve_status n = settle ~max_iter:8 n"
+  in
+  hits "a max_* bound in the definition is enough" [] (analyze src)
+
+let test_retry_budget_helper_silent () =
+  (* A local helper whose name mentions the budget counts, matching the
+     check_budget idiom the solvers use. *)
+  let src =
+    "let settle ~check_budget n =\n"
+    ^ "  let r = ref n in\n"
+    ^ "  while !r > 0 do check_budget (); r := !r - 1 done;\n"
+    ^ "  !r\n"
+    ^ "let solve_status n = settle ~check_budget:(fun () -> ()) n"
+  in
+  hits "polling a check_budget helper is clean" [] (analyze src)
+
+let test_retry_for_loop_silent () =
+  let src =
+    "let settle n =\n"
+    ^ "  let acc = ref 0 in\n"
+    ^ "  for i = 1 to n do acc := !acc + i done;\n"
+    ^ "  !acc\n"
+    ^ "let solve_status n = settle n"
+  in
+  hits "for loops are inherently bounded" [] (analyze src)
+
+let test_retry_unreachable_silent () =
+  let src =
+    "let spin n =\n"
+    ^ "  let r = ref n in\n"
+    ^ "  while !r > 0 do r := !r - 1 done;\n"
+    ^ "  !r\n"
+    ^ "let _ = spin"
+  in
+  hits "a loop no entry reaches is out of scope" [] (analyze src)
+
 (* --- suppression of typed findings -------------------------------------- *)
 
 (* Typed findings are filtered by the [@lint.allow] regions of the source
@@ -664,11 +736,12 @@ let test_json_stable_with_race_findings () =
 
 let test_typed_catalogue () =
   Alcotest.(check (list string))
-    "the eight typed rules, in catalogue order"
+    "the nine typed rules, in catalogue order"
     [
       "determinism-taint"; "exn-escape"; "rng-stream-discipline";
-      "parallel-rng-capture"; "obs-no-wallclock"; "domain-shared-mutation";
-      "atomic-read-modify-write"; "mutable-toplevel-escape";
+      "parallel-rng-capture"; "obs-no-wallclock"; "unbounded-retry";
+      "domain-shared-mutation"; "atomic-read-modify-write";
+      "mutable-toplevel-escape";
     ]
     (List.map (fun (id, _, _) -> id) Typed_driver.catalogue)
 
@@ -714,6 +787,14 @@ let suite =
     Alcotest.test_case "obs: simulated clock silent" `Quick
       test_obs_simulated_clock_silent;
     Alcotest.test_case "obs: outside lib/obs silent" `Quick test_obs_outside_dir_silent;
+    Alcotest.test_case "retry: bare while fires" `Quick test_retry_unbounded_while_fires;
+    Alcotest.test_case "retry: eventsim dir is entry" `Quick
+      test_retry_eventsim_dir_is_entry;
+    Alcotest.test_case "retry: bound ident silent" `Quick test_retry_bound_ident_silent;
+    Alcotest.test_case "retry: budget helper silent" `Quick
+      test_retry_budget_helper_silent;
+    Alcotest.test_case "retry: for loop silent" `Quick test_retry_for_loop_silent;
+    Alcotest.test_case "retry: unreachable silent" `Quick test_retry_unreachable_silent;
     Alcotest.test_case "race: captured write fires" `Quick
       test_race_captured_write_fires;
     Alcotest.test_case "race: transitive write fires" `Quick

@@ -17,6 +17,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("integration", Test_integration.suite);
       ("parallel", Test_parallel.suite);
+      ("robust", Test_robust.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("lint_typed", Test_lint_typed.suite);

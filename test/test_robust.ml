@@ -1,0 +1,433 @@
+(* The supervised runtime: budgets and cancellation observed by every
+   solver and the simulator, the pool supervisor settling scripted chaos
+   plans without deadlock or leaked failures, and the degradation cascade
+   staying byte-identical across domain counts. Faults here are data
+   (Lopc_robust.Chaos plans keyed on iteration counts and task indices),
+   never timers, so every failing case replays exactly. *)
+
+module Budget = Lopc_robust.Budget
+module Cancel = Lopc_robust.Cancel
+module Cascade = Lopc_robust.Cascade
+module Chaos = Lopc_robust.Chaos
+module Supervisor = Lopc_repro.Supervisor
+module Parallel = Lopc_repro.Parallel
+module Experiments = Lopc_repro.Experiments
+module Table = Lopc_repro.Table
+module FP = Lopc_numerics.Fixed_point
+module Probe = Lopc_numerics.Solver_probe
+module A = Lopc.All_to_all
+module G = Lopc.General
+module FM = Lopc.Fault_model
+module Params = Lopc.Params
+module Amva = Lopc_mva.Amva
+module Station = Lopc_mva.Station
+module Ctmc = Lopc_markov.Ctmc
+module Exact = Lopc_markov.Exact_machine
+module Machine = Lopc_activemsg.Machine
+module Spec = Lopc_activemsg.Spec
+module Metrics = Lopc_activemsg.Metrics
+module D = Lopc_dist.Distribution
+
+let params = Params.create ~c2:1. ~p:16 ~st:40. ~so:200. ()
+
+(* --- budgets and tokens -------------------------------------------------- *)
+
+let test_budget_fuel () =
+  let b = Budget.create ~fuel:3 () in
+  Alcotest.(check (option int)) "full tank" (Some 3) (Budget.remaining b);
+  for i = 1 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "check %d passes" i) true
+      (Budget.check b = None)
+  done;
+  (match Budget.check b with
+  | Some (Budget.Fuel_exhausted { fuel }) ->
+    Alcotest.(check int) "original allowance reported" 3 fuel
+  | _ -> Alcotest.fail "expected fuel exhaustion");
+  Alcotest.(check bool) "exhaustion is sticky" true
+    (Budget.check b <> None);
+  Alcotest.(check bool) "exhausted flag" true (Budget.exhausted b);
+  Alcotest.(check (option int)) "never negative" (Some 0) (Budget.remaining b)
+
+let test_cancel_propagates () =
+  let parent = Cancel.create () in
+  let child = Cancel.create ~parent () in
+  Alcotest.(check bool) "fresh child" false (Cancel.cancelled child);
+  Cancel.cancel parent;
+  Alcotest.(check bool) "child sees ancestor" true (Cancel.cancelled child);
+  (* Cancellation outranks fuel and consumes none. *)
+  let b = Budget.create ~fuel:5 ~cancel:child () in
+  Alcotest.(check bool) "cancelled before fuel" true
+    (Budget.check b = Some Budget.Cancelled);
+  Alcotest.(check (option int)) "no fuel consumed" (Some 5) (Budget.remaining b)
+
+(* --- every solver honours its budget ------------------------------------- *)
+
+let slow_map x = (0.9999 *. x) +. 1.
+
+let test_fixed_point_budget () =
+  let b = Budget.create ~fuel:10 () in
+  match FP.solve_scalar_status ~budget:b ~tol:1e-15 ~f:slow_map 0. with
+  | _, FP.Exhausted { iters; reason = Budget.Fuel_exhausted _ } ->
+    Alcotest.(check int) "one unit of fuel per iteration" 10 iters
+  | _, status -> Alcotest.failf "expected exhaustion, got %s" (FP.status_to_string status)
+
+let test_cancelled_solver_stops_within_one_iteration () =
+  let cancel = Cancel.create () in
+  let b = Budget.create ~cancel () in
+  let probe (ev : Probe.event) = if ev.Probe.iter = 5 then Cancel.cancel cancel in
+  match FP.solve_scalar_status ~probe ~budget:b ~tol:1e-15 ~f:slow_map 0. with
+  | _, FP.Exhausted { iters; reason = Budget.Cancelled } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "stopped within one iteration of the flip (iters = %d)" iters)
+      true (iters <= 6)
+  | _, status -> Alcotest.failf "expected cancellation, got %s" (FP.status_to_string status)
+
+let test_all_to_all_budget () =
+  (match A.solve_status ~budget:(Budget.create ~fuel:2 ()) params ~w:1000. with
+  | None, FP.Exhausted { reason = Budget.Fuel_exhausted _; _ } -> ()
+  | _, status -> Alcotest.failf "expected exhaustion, got %s" (FP.status_to_string status));
+  (* A generous budget changes nothing: same evaluation path, same floats. *)
+  let unbudgeted =
+    match A.solve_status params ~w:1000. with
+    | Some s, FP.Converged _ -> s.A.r
+    | _ -> Alcotest.fail "reference solve failed"
+  in
+  match A.solve_status ~budget:(Budget.create ~fuel:1_000_000 ()) params ~w:1000. with
+  | Some s, FP.Converged _ ->
+    Alcotest.(check (float 0.)) "budgeted = unbudgeted, bit for bit" unbudgeted s.A.r
+  | _, status -> Alcotest.failf "expected convergence, got %s" (FP.status_to_string status)
+
+let test_general_budget () =
+  match
+    G.solve_status ~budget:(Budget.create ~fuel:1 ())
+      (G.homogeneous_all_to_all params ~w:1000.)
+  with
+  | None, FP.Exhausted { iters; reason = Budget.Fuel_exhausted _ } ->
+    Alcotest.(check int) "stopped after one iteration" 1 iters
+  | _, status -> Alcotest.failf "expected exhaustion, got %s" (FP.status_to_string status)
+
+let test_amva_budget () =
+  let stations =
+    [| Station.queueing ~demand:2. (); Station.queueing ~demand:3. () |]
+  in
+  match
+    Amva.solve_status ~budget:(Budget.create ~fuel:1 ()) ~stations ~population:8 ()
+  with
+  | None, FP.Exhausted { reason = Budget.Fuel_exhausted _; _ } -> ()
+  | _, status -> Alcotest.failf "expected exhaustion, got %s" (FP.status_to_string status)
+
+let test_fault_model_budget () =
+  let c = FM.config ~drop:0.05 ~timeout:5000. () in
+  match FM.solve_status ~budget:(Budget.create ~fuel:1 ()) c params ~w:1000. with
+  | None, FP.Exhausted { reason = Budget.Fuel_exhausted _; _ } -> ()
+  | _, status -> Alcotest.failf "expected exhaustion, got %s" (FP.status_to_string status)
+
+let test_ctmc_budget () =
+  (* Fuel is one unit per explored state / power sweep: 5 cannot finish. *)
+  (match
+     Exact.all_to_all_status ~budget:(Budget.create ~fuel:5 ()) ~p:2 ~w:1000.
+       ~so:200. ~st:40. ()
+   with
+  | None, Ctmc.Exhausted { reason = Budget.Fuel_exhausted _ } -> ()
+  | _, status -> Alcotest.failf "expected exhaustion, got %s" (Ctmc.status_to_string status));
+  (* A pre-cancelled token stops the exploration on its first poll. *)
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel;
+  match
+    Exact.all_to_all_status ~budget:(Budget.create ~cancel ()) ~p:2 ~w:1000.
+      ~so:200. ~st:40. ()
+  with
+  | None, Ctmc.Exhausted { reason = Budget.Cancelled } -> ()
+  | _, status -> Alcotest.failf "expected cancellation, got %s" (Ctmc.status_to_string status)
+
+let client_spec () =
+  {
+    Spec.nodes = 2;
+    threads =
+      [|
+        None;
+        Some { Spec.work = D.Constant 100.; route = (fun _ -> [ 0 ]); window = 1 };
+      |];
+    handler = D.Constant 20.;
+    reply_handler = D.Constant 20.;
+    wire = D.Constant 5.;
+    protocol_processor = false;
+    gap = 0.;
+    polling = false;
+    initial_delay = None;
+    barrier = None;
+    topology = None;
+    fault = None;
+  }
+
+let test_machine_budget () =
+  let spec = client_spec () in
+  let run budget = Machine.run ?budget ~warmup_cycles:100 ~spec ~cycles:2000 () in
+  (* ~6 events per cycle: 2 000 units of fuel clear the 100-cycle warm-up
+     and run out mid-measurement. *)
+  let starved = run (Some (Budget.create ~fuel:2000 ())) in
+  (match starved.Machine.interrupted with
+  | Some (Budget.Fuel_exhausted { fuel }) ->
+    Alcotest.(check int) "interrupted by its fuel allowance" 2000 fuel
+  | _ -> Alcotest.fail "expected an interrupted run");
+  (* The measurement window must close at the stop point: an interrupted
+     run's time-averaged readouts (which integrate past the last completed
+     cycle) would otherwise see time running backwards. *)
+  Alcotest.(check bool) "utilization readable after interruption" true
+    (Float.is_finite (Metrics.avg_request_util starved.Machine.metrics));
+  (* Fuel is simulation progress: the same starved run replays exactly. *)
+  let again = run (Some (Budget.create ~fuel:2000 ())) in
+  Alcotest.(check (float 0.)) "starved runs are deterministic"
+    (Metrics.mean_response starved.Machine.metrics)
+    (Metrics.mean_response again.Machine.metrics);
+  (* A budget large enough never to fire leaves the run bit-identical. *)
+  let free = run None in
+  let roomy = run (Some (Budget.create ~fuel:100_000_000 ())) in
+  Alcotest.(check bool) "roomy budget does not interrupt" true
+    (roomy.Machine.interrupted = None);
+  Alcotest.(check (float 0.)) "budgeted = unbudgeted, bit for bit"
+    (Metrics.mean_response free.Machine.metrics)
+    (Metrics.mean_response roomy.Machine.metrics)
+
+let test_machine_cancellation () =
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel;
+  let r =
+    Machine.run ~budget:(Budget.create ~cancel ()) ~spec:(client_spec ())
+      ~cycles:2000 ()
+  in
+  Alcotest.(check bool) "observed within one event" true
+    (r.Machine.interrupted = Some Budget.Cancelled)
+
+(* --- the degradation cascade --------------------------------------------- *)
+
+let test_cascade_first_success () =
+  let o = Cascade.run [ Cascade.attempt "exact" (fun () -> Ok 1.) ] in
+  Alcotest.(check string) "provenance" "exact" o.Cascade.provenance;
+  Alcotest.(check (option (float 0.))) "value" (Some 1.) o.Cascade.value;
+  Alcotest.(check (list (pair string string))) "no trail" [] o.Cascade.trail
+
+let test_cascade_fallback () =
+  let events = ref [] in
+  let o =
+    Cascade.run
+      ~on_event:(fun e -> events := e :: !events)
+      [
+        Cascade.attempt "exact" (fun () -> Error "state-space");
+        Cascade.attempt "amva" (fun () -> Error "exhausted");
+        Cascade.attempt "bound" (fun () -> Ok 3.);
+      ]
+  in
+  Alcotest.(check string) "provenance names stage and reason"
+    "approx:bound:exhausted" o.Cascade.provenance;
+  Alcotest.(check (list (pair string string)))
+    "trail in attempt order"
+    [ ("exact", "state-space"); ("amva", "exhausted") ]
+    o.Cascade.trail;
+  Alcotest.(check int) "one event per degradation" 2 (List.length !events)
+
+let test_cascade_all_fail () =
+  let saw_exhausted_all = ref false in
+  let o =
+    Cascade.run
+      ~on_event:(function
+        | Cascade.Exhausted_all _ -> saw_exhausted_all := true
+        | Cascade.Degraded _ -> ())
+      [
+        Cascade.attempt "exact" (fun () -> Error "state-space");
+        Cascade.attempt "bound" (fun () -> Error "diverged");
+      ]
+  in
+  Alcotest.(check string) "failed provenance" Cascade.failed_provenance
+    o.Cascade.provenance;
+  Alcotest.(check bool) "no value" true (o.Cascade.value = None);
+  Alcotest.(check bool) "Exhausted_all observed" true !saw_exhausted_all
+
+let test_cascade_jobs_invariant () =
+  (* The whole point of fuel over wall clock: the cascade artifact —
+     which degrades through three tiers — renders byte-identically
+     however many domains run it. *)
+  let render jobs =
+    let plan = List.assoc "cascade" (Experiments.plans ()) in
+    Parallel.with_pool ~jobs (fun pool ->
+        Table.to_csv (Experiments.run_plan ~pool plan))
+  in
+  Alcotest.(check string) "--jobs 1 = --jobs 8, byte for byte" (render 1) (render 8)
+
+(* --- supervised batches under scripted chaos ----------------------------- *)
+
+(* The harness interprets a Chaos.plan: each of [n] tasks runs up to
+   [horizon] budgeted iterations, flipping its own token at the scripted
+   iteration, raising when scripted to, and carrying the scripted fuel. *)
+
+let horizon = 50
+
+type task_result = Finished of int | Stopped of Budget.stop_reason
+
+let chaos_task plan i token =
+  if Chaos.raises plan i then raise (Chaos.Injected_failure i);
+  let budget =
+    match Chaos.fuel_for plan i with
+    | Some fuel -> Budget.create ~fuel ~cancel:token ()
+    | None -> Budget.create ~cancel:token ()
+  in
+  let iters = ref 0 in
+  let result = ref (Finished i) in
+  let running = ref true in
+  while !running && !iters < horizon do
+    (match Chaos.cancel_iteration plan i with
+    | Some c when !iters = c -> Cancel.cancel token
+    | _ -> ());
+    match Budget.check budget with
+    | Some reason ->
+      result := Stopped reason;
+      running := false
+    | None -> incr iters
+  done;
+  !result
+
+(* What the harness above must settle to, computed from the plan alone. *)
+let expected_outcome plan i =
+  if Chaos.raises plan i then `Raises
+  else begin
+    let cancel_at =
+      match Chaos.cancel_iteration plan i with
+      | Some c when c < horizon -> Some c
+      | _ -> None
+    in
+    let fuel_at =
+      match Chaos.fuel_for plan i with
+      | Some f when f < horizon -> Some f
+      | _ -> None
+    in
+    match (cancel_at, fuel_at) with
+    | Some c, Some f when c <= f -> `Cancelled
+    | Some _, None -> `Cancelled
+    | _, Some _ -> `Fuel
+    | None, None -> `Finishes
+  end
+
+let outcome_matches plan i = function
+  | Supervisor.Failed { exn = Chaos.Injected_failure j; _ } ->
+    expected_outcome plan i = `Raises && j = i
+  | Supervisor.Failed _ -> false
+  | Supervisor.Completed (Finished j) -> expected_outcome plan i = `Finishes && j = i
+  | Supervisor.Completed (Stopped Budget.Cancelled) -> expected_outcome plan i = `Cancelled
+  | Supervisor.Completed (Stopped (Budget.Fuel_exhausted _)) ->
+    expected_outcome plan i = `Fuel
+  | Supervisor.Skipped -> false (* Collect_all never skips *)
+
+let plan_arb n =
+  QCheck.make ~print:Chaos.plan_to_string
+    QCheck.Gen.(
+      list_size (0 -- 6)
+        (oneof
+           [
+             map2
+               (fun task iteration -> Chaos.Cancel_at_iteration { task; iteration })
+               (0 -- (n - 1))
+               (0 -- (horizon + 10));
+             map (fun t -> Chaos.Raise_at_task t) (0 -- (n - 1));
+             map2
+               (fun task fuel -> Chaos.Exhaust_fuel_at_point { task; fuel })
+               (0 -- (n - 1))
+               (0 -- (horizon + 10));
+           ]))
+
+let prop_chaos_settles =
+  let n = 12 in
+  QCheck.Test.make ~name:"chaos: every scripted fault settles as planned" ~count:60
+    (plan_arb n)
+    (fun plan ->
+      Parallel.with_pool ~jobs:4 (fun pool ->
+          let monitor = Supervisor.monitor n in
+          let outcomes =
+            Supervisor.supervise ~pool ~policy:Supervisor.Collect_all ~monitor
+              (Array.init n (fun i -> chaos_task plan i))
+          in
+          Array.length outcomes = n
+          && Supervisor.settled monitor = n
+          && Supervisor.in_flight monitor = []
+          && Array.for_all
+               (fun ok -> ok)
+               (Array.mapi (fun i o -> outcome_matches plan i o) outcomes)))
+
+let test_chaos_join_reraises_lowest () =
+  (* Collect_all is deterministic, so join's choice of failure is too. *)
+  let plan = [ Chaos.Raise_at_task 9; Chaos.Raise_at_task 4 ] in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let outcomes =
+        Supervisor.supervise ~pool ~policy:Supervisor.Collect_all
+          (Array.init 12 (fun i -> chaos_task plan i))
+      in
+      match Supervisor.join outcomes with
+      | _ -> Alcotest.fail "expected the injected failure to re-raise"
+      | exception Chaos.Injected_failure i ->
+        Alcotest.(check int) "lowest-indexed failure wins" 4 i)
+
+let test_fail_fast_settles_everything () =
+  (* Which tasks get skipped is the schedule's business; that every task
+     settles and the injected failure is preserved is not. *)
+  let plan = [ Chaos.Raise_at_task 3 ] in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      for _ = 1 to 5 do
+        let outcomes =
+          Supervisor.supervise ~pool ~policy:Supervisor.Fail_fast
+            (Array.init 16 (fun i -> chaos_task plan i))
+        in
+        Alcotest.(check int) "every task settled" 16 (Array.length outcomes);
+        (match outcomes.(3) with
+        | Supervisor.Failed { exn = Chaos.Injected_failure 3; _ }
+        | Supervisor.Skipped ->
+          ()
+        | _ -> Alcotest.fail "task 3 must fail or be skipped before starting");
+        let failures =
+          Array.to_list outcomes
+          |> List.filter (function Supervisor.Failed _ -> true | _ -> false)
+        in
+        Alcotest.(check bool) "at most the one scripted failure" true
+          (List.length failures <= 1)
+      done)
+
+let test_batch_cancellation_skips () =
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel;
+  let outcomes =
+    Supervisor.supervise ~cancel (Array.init 4 (fun i -> chaos_task [] i))
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Supervisor.Completed (Stopped Budget.Cancelled) | Supervisor.Skipped -> ()
+      | _ -> Alcotest.failf "task %d must observe the batch token" i)
+    outcomes;
+  match Supervisor.join outcomes with
+  | _ -> Alcotest.fail "expected join to surface the cancellation"
+  | exception Supervisor.Cancelled_task 0 -> ()
+  | exception Chaos.Injected_failure _ -> Alcotest.fail "no failure was scripted"
+
+let suite =
+  [
+    Alcotest.test_case "budget: fuel accounting" `Quick test_budget_fuel;
+    Alcotest.test_case "cancel: parent to child" `Quick test_cancel_propagates;
+    Alcotest.test_case "fixed point: budget" `Quick test_fixed_point_budget;
+    Alcotest.test_case "fixed point: cancel within one iteration" `Quick
+      test_cancelled_solver_stops_within_one_iteration;
+    Alcotest.test_case "all-to-all: budget" `Quick test_all_to_all_budget;
+    Alcotest.test_case "general: budget" `Quick test_general_budget;
+    Alcotest.test_case "amva: budget" `Quick test_amva_budget;
+    Alcotest.test_case "fault model: budget" `Quick test_fault_model_budget;
+    Alcotest.test_case "ctmc: budget and cancel" `Quick test_ctmc_budget;
+    Alcotest.test_case "machine: budget" `Quick test_machine_budget;
+    Alcotest.test_case "machine: cancellation" `Quick test_machine_cancellation;
+    Alcotest.test_case "cascade: first success" `Quick test_cascade_first_success;
+    Alcotest.test_case "cascade: fallback provenance" `Quick test_cascade_fallback;
+    Alcotest.test_case "cascade: all stages fail" `Quick test_cascade_all_fail;
+    Alcotest.test_case "cascade: jobs invariant" `Quick test_cascade_jobs_invariant;
+    QCheck_alcotest.to_alcotest prop_chaos_settles;
+    Alcotest.test_case "chaos: join re-raises lowest" `Quick
+      test_chaos_join_reraises_lowest;
+    Alcotest.test_case "chaos: fail-fast settles everything" `Quick
+      test_fail_fast_settles_everything;
+    Alcotest.test_case "chaos: batch cancellation" `Quick test_batch_cancellation_skips;
+  ]
