@@ -39,6 +39,33 @@ let lint_typed_test () =
       Test.make ~name:"lint_typed (full tree)"
         (Staged.stage (fun () ->
              ignore (Lopc_analysis.Typed_driver.analyze_paths roots)));
+      Test.make ~name:"lint_absint (full tree)"
+        (Staged.stage (fun () ->
+             ignore (Lopc_analysis.Typed_driver.analyze_paths ~stage:`Numeric roots)));
+    ]
+
+(* The per-file syntactic stage at 1 and 4 worker domains: the pair in
+   BENCH_<gitsha>.json is the record that --jobs actually pays off (the
+   outputs themselves are byte-identical — test_lint checks that). *)
+let lint_syntactic_tests () =
+  let open Bechamel in
+  let roots =
+    List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples"; "test" ]
+  in
+  if roots = [] then []
+  else
+    let run jobs () =
+      ignore
+        (if jobs <= 1 then Lopc_analysis.Driver.lint_paths roots
+         else
+           Lopc_analysis.Driver.lint_paths
+             ~map_tasks:(fun tasks ->
+               Parallel.with_pool ~jobs (fun pool -> Parallel.run pool tasks))
+             roots)
+    in
+    [
+      Test.make ~name:"lint_syntactic (jobs 1)" (Staged.stage (run 1));
+      Test.make ~name:"lint_syntactic (jobs 4)" (Staged.stage (run 4));
     ]
 
 let micro_tests () =
@@ -102,6 +129,7 @@ let micro_tests () =
            Lopc_markov.Exact_machine.all_to_all ~p:3 ~w:1000. ~so:200. ~st:40. ()));
   ]
   @ lint_typed_test ()
+  @ lint_syntactic_tests ()
 
 (* Estimates sorted by test name: Bechamel hands results back in a
    Hashtbl, whose iteration order is unspecified, so reporting straight

@@ -1,0 +1,64 @@
+(* Parsing of the [@lopc.*] numeric-contract attributes. These live in
+   the same namespaced-attribute family as [@lint.allow]: the compiler
+   ignores them, the absint stage reads them from label declarations and
+   parameter patterns in the typed tree. *)
+
+type t = Prob | Cost | Range of float * float | Unit of string
+
+let string_payload = function
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+let range_of_payload s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ lo; hi ] -> (
+    match (float_of_string_opt lo, float_of_string_opt hi) with
+    | Some lo, Some hi when lo <= hi && not (Float.is_nan lo || Float.is_nan hi)
+      ->
+      Some (Range (lo, hi))
+    | _ -> None)
+  | _ -> None
+
+let of_attribute (a : Parsetree.attribute) =
+  match a.attr_name.txt with
+  | "lopc.prob" -> Some Prob
+  | "lopc.cost" -> Some Cost
+  | "lopc.range" -> Option.bind (string_payload a.attr_payload) range_of_payload
+  | "lopc.unit" ->
+    Option.map (fun u -> Unit u) (string_payload a.attr_payload)
+  | _ -> None
+
+let of_attributes attrs = List.filter_map of_attribute attrs
+
+let interval = function
+  | Prob -> Some (Interval.v 0. 1.)
+  | Cost -> Some (Interval.v 0. infinity)
+  | Range (lo, hi) -> Some (Interval.v lo hi)
+  | Unit _ -> None
+
+let rule_id = function
+  | Prob -> "probability-range"
+  | Cost -> "negative-cost"
+  | Range (lo, hi) ->
+    (* Generic ranges report under the closest blessed rule: a range
+       inside [0, 1] is probability-like, otherwise sign-like. *)
+    if lo >= 0. && hi <= 1. then "probability-range" else "negative-cost"
+  | Unit _ -> "unit-mismatch"
+
+let unit_of annots =
+  List.find_map (function Unit u -> Some u | _ -> None) annots
+
+let describe = function
+  | Prob -> "a probability in [0, 1]"
+  | Cost -> "a non-negative cost"
+  | Range (lo, hi) -> Printf.sprintf "in range [%g, %g]" lo hi
+  | Unit u -> Printf.sprintf "in unit %S" u

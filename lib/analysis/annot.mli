@@ -1,0 +1,46 @@
+(** The [@lopc.*] numeric-contract attributes the absint stage checks.
+
+    Attach them to record-field declarations and to function parameter
+    patterns:
+
+    {[
+      type t = {
+        st : float; [@lopc.cost] [@lopc.unit "cycles"]
+        q : float; [@lopc.prob]
+      }
+
+      let solve ~(q [@lopc.prob] : float) = ...
+    ]}
+
+    - [\[@lopc.prob\]] — the value must lie in \[0, 1\] (and not be NaN);
+      violations report as [probability-range].
+    - [\[@lopc.cost\]] — the value must be ≥ 0 (service times, message
+      counts, rates); violations report as [negative-cost].
+    - [\[@lopc.range "lo hi"\]] — generic closed-interval contract.
+    - [\[@lopc.unit "cycles"\]] — dimension tag; mixing two different
+      units additively reports as [unit-mismatch]. *)
+
+type t =
+  | Prob
+  | Cost
+  | Range of float * float
+  | Unit of string
+
+(** All well-formed [lopc.*] annotations among [attrs], declaration
+    order. Malformed payloads (a non-string, an unparsable range) are
+    ignored. *)
+val of_attributes : Parsetree.attributes -> t list
+
+(** The admissible interval of a range-like annotation; [None] for
+    [Unit]. *)
+val interval : t -> Interval.t option
+
+(** Rule id a violation of this annotation reports under. *)
+val rule_id : t -> string
+
+(** The unit tag, if any annotation carries one. *)
+val unit_of : t list -> string option
+
+(** Human rendering for messages: ["probability [0, 1]"],
+    ["non-negative cost"], ... *)
+val describe : t -> string

@@ -1,0 +1,104 @@
+(* The lint baseline: accepted finding counts per (severity, rule, file),
+   stored as a sorted TSV so it is reviewable in diffs and parseable
+   without a JSON library. [diff] is the CI gate: new error-severity
+   findings (a count above the stored one, including rows the baseline
+   has never seen) fail; anything else is drift, reported for the job
+   summary but not fatal. *)
+
+module M = Map.Make (struct
+  type t = string * string * string (* severity, rule, file *)
+
+  let compare (a1, a2, a3) (b1, b2, b3) =
+    let c = String.compare a1 b1 in
+    if c <> 0 then c
+    else
+      let c = String.compare a2 b2 in
+      if c <> 0 then c else String.compare a3 b3
+end)
+
+let aggregate findings =
+  List.fold_left
+    (fun m (f : Finding.t) ->
+      let key =
+        (Finding.severity_to_string f.severity, f.rule, Finding.file f)
+      in
+      M.update key (fun n -> Some (Option.value n ~default:0 + 1)) m)
+    M.empty findings
+
+let header =
+  "# lopc-lint baseline v1: severity<TAB>rule<TAB>file<TAB>count, sorted.\n\
+   # Refresh with: dune exec bin/lopc_lint.exe -- baseline write <roots>\n"
+
+let write ~path findings =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc header;
+      M.iter
+        (fun (sev, rule, file) n ->
+          Printf.fprintf oc "%s\t%s\t%s\t%d\n" sev rule file n)
+        (aggregate findings));
+  Sys.rename tmp path
+
+let read path =
+  let ic = open_in_bin path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  List.fold_left
+    (fun m line ->
+      if String.length line = 0 || line.[0] = '#' then m
+      else
+        match String.split_on_char '\t' line with
+        | [ sev; rule; file; n ] -> (
+          match int_of_string_opt n with
+          | Some n -> M.add (sev, rule, file) n m
+          | None -> m)
+        | _ -> m)
+    M.empty lines
+
+let diff ~path ppf findings =
+  let base = read path in
+  let current = aggregate findings in
+  let keys =
+    M.fold (fun k _ acc -> M.add k () acc) base M.empty
+    |> M.fold (fun k _ acc -> M.add k () acc) current
+  in
+  let count m k = Option.value (M.find_opt k m) ~default:0 in
+  let changed =
+    M.fold
+      (fun k () acc ->
+        let b = count base k and c = count current k in
+        if b <> c then (k, b, c) :: acc else acc)
+      keys []
+    |> List.rev
+  in
+  let regressions =
+    List.filter
+      (fun ((sev, _, _), b, c) -> String.equal sev "error" && c > b)
+      changed
+  in
+  Format.fprintf ppf "## Lint findings vs baseline@.@.";
+  if changed = [] then Format.fprintf ppf "No drift against %s.@." path
+  else begin
+    Format.fprintf ppf "| severity | rule | file | baseline | current |@.";
+    Format.fprintf ppf "|---|---|---|---:|---:|@.";
+    List.iter
+      (fun ((sev, rule, file), b, c) ->
+        Format.fprintf ppf "| %s | `%s` | `%s` | %d | %d |@." sev rule file b c)
+      changed
+  end;
+  if regressions <> [] then
+    Format.fprintf ppf "@.%d new error-severity finding(s) vs baseline.@."
+      (List.length regressions);
+  regressions <> []

@@ -1,0 +1,19 @@
+(** Accepted-findings baseline behind [lopc_lint baseline write|diff].
+
+    The file format is a sorted tab-separated table — one line per
+    (severity, rule, file) with its finding count, after a [#]-comment
+    header — so it diffs cleanly in review and needs no JSON parser.
+
+    [diff] compares current findings against the stored counts: any
+    (rule, file) whose {e error}-severity count exceeds the baseline is a
+    regression and CI hard-fails; warning drift and disappearing
+    findings are reported but not fatal. *)
+
+(** Serialise the aggregated counts to [path] (atomically via rename). *)
+val write : path:string -> Finding.t list -> unit
+
+(** Render a markdown drift table to the formatter and return [true] iff
+    there is at least one new error-severity finding against the
+    baseline at [path]. Raises [Sys_error] if the baseline is
+    unreadable. *)
+val diff : path:string -> Format.formatter -> Finding.t list -> bool

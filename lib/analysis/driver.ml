@@ -37,10 +37,17 @@ type parsed =
   | Signature of Parsetree.signature
   | Parse_failed of Location.t * string
 
+(* compiler-libs' lexer keeps global mutable state (its string buffer and
+   comment stack), so parsing is not domain-safe. Serialise the parse
+   itself; the rule checks, suppression filtering and sorting — the bulk
+   of a task under [--jobs N] — still run in parallel. *)
+let parse_lock = Mutex.create ()
+
 let parse ~path contents =
   let kind = if Filename.check_suffix path ".mli" then `Intf else `Impl in
   let lexbuf = Lexing.from_string contents in
   Location.init lexbuf path;
+  Mutex.protect parse_lock @@ fun () ->
   match kind with
   | `Impl -> (
     try Structure (Parse.implementation lexbuf) with
@@ -54,8 +61,8 @@ let parse ~path contents =
       Parse_failed (Syntaxerr.location_of_error err, "syntax error")
     | exn -> Parse_failed (whole_file_loc path, Printexc.to_string exn))
 
-let lint_source ?(rules = default_rules) ~path contents =
-  match parse ~path contents with
+let check_parsed ?(rules = default_rules) ~path parsed =
+  match parsed with
   | Parse_failed (loc, msg) -> [ Rule.finding parse_error_rule ~loc msg ]
   | Signature _ -> []
   | Structure structure ->
@@ -75,6 +82,9 @@ let lint_source ?(rules = default_rules) ~path contents =
       |> List.filter (fun f -> not (Suppress.suppressed justified f))
     in
     List.sort Finding.compare (rule_findings @ bare)
+
+let lint_source ?rules ~path contents =
+  check_parsed ?rules ~path (parse ~path contents)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -108,13 +118,41 @@ let source_files roots =
   List.iter visit roots;
   List.rev !acc
 
-let lint_paths ?rules roots =
-  source_files roots |> List.concat_map (lint_file ?rules) |> List.sort Finding.compare
+(* [map_tasks] is the parallelism seam: the CLI injects a pool-backed
+   mapper ([Lopc_repro.Parallel.run]) for [--jobs N] without this library
+   depending on the runtime. Any mapper must return results in task
+   order; findings are then concatenated in file order and sorted, so the
+   output is byte-identical whatever the worker count. Files are read and
+   parsed sequentially up front — the parse is serial anyway (see
+   [parse_lock]), so doing it here costs nothing and leaves the workers
+   contention-free on the rule checks. *)
+let lint_paths ?rules ?map_tasks roots =
+  let files = source_files roots in
+  let parsed =
+    List.map
+      (fun path ->
+        match read_file path with
+        | contents -> (path, parse ~path contents)
+        | exception Sys_error msg ->
+          (path, Parse_failed (whole_file_loc path, msg)))
+      files
+  in
+  let tasks =
+    Array.of_list
+      (List.map (fun (path, p) () -> check_parsed ?rules ~path p) parsed)
+  in
+  let results =
+    match map_tasks with
+    | Some run -> run tasks
+    | None -> Array.map (fun task -> task ()) tasks
+  in
+  Array.to_list results |> List.concat |> List.sort Finding.compare
 
-type format = Human | Json
+type format = Human | Json | Sarif
 
 let report ppf ~format findings =
   match format with
+  | Sarif -> Sarif.report ppf findings
   | Human ->
     List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp_human f) findings;
     let errors, warnings =

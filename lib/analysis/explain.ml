@@ -350,6 +350,106 @@ let entries =
          provably frozen before any parallel run may be suppressed with a \
          justification.";
     };
+    {
+      id = "probability-range";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "a value flowing into a [@lopc.prob]-annotated parameter, field or \
+         binding may lie outside [0, 1]";
+      rationale =
+        "Every solver in this repo iterates on probabilities and utilisations \
+         with hard [0, 1] domains; the contention equations silently produce \
+         garbage the moment one leaves it. The interval abstract interpreter \
+         tracks value ranges flow-sensitively — a guard refines the branch it \
+         dominates, a raising branch contributes nothing — so a value is only \
+         accepted when its interval on that path provably fits. An \
+         unconstrained value (interval top) counts as a violation: the range \
+         must be established by a guard, a validating constructor, or an \
+         annotation on the producer.";
+      example =
+        "let consume ~q:(q [@lopc.prob]) = 1. -. q\n\
+         let f x = consume ~q:(1. +. x) (* interval [1, inf] on any x >= 0 *)";
+      fix =
+        "Validate or clamp before the annotated slot (0. <= q && q <= 1., or \
+         Float.min 1. (Float.max 0. q)), or annotate the producing parameter \
+         so the interval carries through; suppress with a justification only \
+         when the range is enforced somewhere the analysis cannot see.";
+    };
+    {
+      id = "division-by-vanishing";
+      severity = Finding.Warning;
+      stage = "typed";
+      summary =
+        "a subtraction-shaped denominator (the 1 - u family) whose interval \
+         contains 0 on some path with no dominating guard";
+      rationale =
+        "LoPC's contention equations divide by 1 - u terms that vanish exactly \
+         at saturation, the regime every experiment pushes toward. The \
+         syntactic unguarded-division rule only checks that *some* enclosing \
+         conditional mentions the denominator's identifiers; the typed rule \
+         supersedes it with real path sensitivity: the division is flagged \
+         only when the denominator's interval *on that path* still contains \
+         0 — so `if u >= 1. then ... else s /. (1. -. u)` is proven safe \
+         (the else-branch refines u to [-inf, pred 1.], making the \
+         denominator positive), while a guard on only one of two branches is \
+         caught.";
+      example =
+        "let bad u s = if u < 1. then s else s /. (1. -. u)\n\
+         (* guard on the wrong branch: here u >= 1., so 1 - u <= 0 *)";
+      fix =
+        "Guard the division so the denominator interval excludes 0 on its \
+         path (if u >= 1. then ... else x /. (1. -. u)), or saturate with \
+         Float.max eps (1. -. u); suppress with a justification when \
+         saturation is impossible by construction.";
+    };
+    {
+      id = "negative-cost";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "a value flowing into a [@lopc.cost]-annotated parameter, field or \
+         binding may be negative or NaN";
+      rationale =
+        "Service times, handler costs and message counts are non-negative by \
+         definition; a negative or NaN cost reaching a solver entry turns \
+         the fixed point into garbage that may still converge — the worst \
+         failure mode, because nothing crashes. The interval stage proves \
+         non-negativity per path (subtractions are the usual culprit) and \
+         rejects any flow whose interval admits values below zero, including \
+         unconstrained top.";
+      example =
+        "type p = { st : float [@lopc.cost] }\n\
+         let shrink base delta = { st = base -. delta }\n\
+         (* [base - delta] has interval [-inf, inf]: delta may exceed base *)";
+      fix =
+        "Establish the sign with a guard or clamp (Float.max 0. x) before the \
+         annotated slot, or validate at the construction boundary; suppress \
+         with a justification when the invariant is enforced dynamically.";
+    };
+    {
+      id = "unit-mismatch";
+      severity = Finding.Error;
+      stage = "typed";
+      summary =
+        "two quantities with different [@lopc.unit] tags are mixed additively";
+      rationale =
+        "The model mixes cycle counts, per-cycle rates and dimensionless \
+         probabilities in one float type; adding a cycle count to a rate \
+         typechecks and is always wrong. [@lopc.unit \"cycles\"]-style tags \
+         on record fields and parameters give the absint stage a dimension \
+         for each value; units propagate through +,-, min/max and bindings, \
+         and an additive mix of two different known units — or a flow of a \
+         known unit into a slot declared with another — is reported. \
+         Multiplication clears the tag (it genuinely changes dimension).";
+      example =
+        "type p = { w : float [@lopc.unit \"cycles\"] }\n\
+         let bad (p : p) (rate [@lopc.unit \"1/cycle\"]) = p.w +. rate";
+      fix =
+        "Convert explicitly before mixing (multiply by the conversion factor, \
+         which clears the tag), or fix whichever [@lopc.unit] annotation is \
+         wrong.";
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) entries

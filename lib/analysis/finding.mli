@@ -29,3 +29,6 @@ val pp_human : Format.formatter -> t -> unit
 
 (** One finding as a single-line JSON object. *)
 val pp_json : Format.formatter -> t -> unit
+
+(** JSON string-body escaping shared by the JSON and SARIF emitters. *)
+val json_escape : string -> string

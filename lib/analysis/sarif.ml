@@ -1,0 +1,98 @@
+(* SARIF 2.1.0 serialisation. Hand-rolled like the JSON reporter — the
+   dependency set has no JSON library, and the subset of SARIF GitHub
+   code scanning needs is small: schema/version, one run with the tool's
+   rule metadata, and results with physical locations. Everything is
+   emitted through a buffer with fixed indentation and key order so the
+   bytes are a pure function of the finding list. *)
+
+let esc = Finding.json_escape
+
+let level_of = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+
+let rule_ids = lazy (List.map (fun (e : Explain.entry) -> e.id) Explain.entries)
+
+let rule_index id =
+  let rec go i = function
+    | [] -> None
+    | r :: rest -> if String.equal r id then Some i else go (i + 1) rest
+  in
+  go 0 (Lazy.force rule_ids)
+
+let add_rule buf (e : Explain.entry) =
+  Printf.bprintf buf
+    {|        {
+          "id": "%s",
+          "shortDescription": { "text": "%s" },
+          "help": { "text": "%s" },
+          "defaultConfiguration": { "level": "%s" }
+        }|}
+    (esc e.id) (esc e.summary) (esc e.fix) (level_of e.severity)
+
+let add_result buf (f : Finding.t) =
+  Printf.bprintf buf
+    {|      {
+        "ruleId": "%s",%s
+        "level": "%s",
+        "message": { "text": "%s" },
+        "locations": [
+          {
+            "physicalLocation": {
+              "artifactLocation": { "uri": "%s" },
+              "region": { "startLine": %d, "startColumn": %d, "endLine": %d, "endColumn": %d }
+            }
+          }
+        ]
+      }|}
+    (esc f.rule)
+    (match rule_index f.rule with
+    | Some i -> Printf.sprintf "\n        \"ruleIndex\": %d," i
+    | None -> "")
+    (level_of f.severity)
+    (esc (f.message ^ " hint: " ^ f.hint))
+    (esc (Finding.file f))
+    (Finding.line f)
+    (Finding.col f + 1)
+    (Finding.end_line f)
+    (* SARIF columns are 1-based; endColumn is exclusive like ours *)
+    (Finding.end_col f + 1)
+
+let sep_map buf add items =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      add buf x)
+    items
+
+let report ppf findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n\
+    \  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"lopc-lint\",\n\
+    \          \"informationUri\": \"https://github.com/lopc/lopc-repro\",\n\
+    \          \"rules\": [\n";
+  (* the rules array nests two levels deeper than results; re-indent *)
+  let rules_buf = Buffer.create 4096 in
+  sep_map rules_buf add_rule Explain.entries;
+  String.split_on_char '\n' (Buffer.contents rules_buf)
+  |> List.iteri (fun i line ->
+         if i > 0 then Buffer.add_char buf '\n';
+         Buffer.add_string buf "    ";
+         Buffer.add_string buf line);
+  Buffer.add_string buf
+    "\n\
+    \          ]\n\
+    \        }\n\
+    \      },\n\
+    \      \"results\": [\n";
+  sep_map buf add_result findings;
+  if findings <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "      ]\n    }\n  ]\n}\n";
+  Format.pp_print_string ppf (Buffer.contents buf)

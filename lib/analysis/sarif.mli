@@ -1,0 +1,10 @@
+(** SARIF 2.1.0 emitter for lint findings ([lopc_lint --format sarif]).
+
+    One run, tool [lopc-lint], with the full rule catalogue from
+    {!Explain.entries} in the driver's [rules] array and one [result] per
+    finding. Output is deterministic byte-for-byte for a given finding
+    list (two-space indentation, fixed key order, findings in the order
+    given — callers pass them sorted), so CI can diff it and GitHub code
+    scanning can ingest it. *)
+
+val report : Format.formatter -> Finding.t list -> unit

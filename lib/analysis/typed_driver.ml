@@ -15,18 +15,22 @@ let catalogue =
     (Obs_rules.rule_id, Obs_rules.severity, Obs_rules.summary);
     (Retry_rules.rule_id, Retry_rules.severity, Retry_rules.summary);
   ]
-  @ Race_rules.catalogue
+  @ Race_rules.catalogue @ Numeric_rules.catalogue
 
-let analyze_units ?(entries = []) units =
+let analyze_units ?(entries = []) ?(stage = `All) units =
   let graph = Callgraph.build units in
   let taint_config = { Taint_rules.default_config with entries } in
-  let effects = Effects.analyze graph in
   let findings =
-    Taint_rules.check ~config:taint_config graph
-    @ Exn_rules.check graph @ Stream_rules.check graph @ Par_rules.check graph
-    @ Obs_rules.check graph
-    @ Retry_rules.check ~config:{ Retry_rules.default_config with entries } graph
-    @ Race_rules.check effects
+    match stage with
+    | `Numeric -> Numeric_rules.check graph
+    | `All ->
+      let effects = Effects.analyze graph in
+      Taint_rules.check ~config:taint_config graph
+      @ Exn_rules.check graph @ Stream_rules.check graph
+      @ Par_rules.check graph @ Obs_rules.check graph
+      @ Retry_rules.check ~config:{ Retry_rules.default_config with entries } graph
+      @ Race_rules.check effects
+      @ Numeric_rules.check graph
   in
   (* Suppression regions come from the sources the findings point into;
      cache per file since many findings share one. *)
@@ -57,7 +61,11 @@ let units_of_paths roots =
   if Cmt_loader.cmt_files roots = [] then raise (No_cmt_inputs roots);
   Cmt_loader.load roots
 
-let analyze_paths ?entries roots = analyze_units ?entries (units_of_paths roots)
+let analyze_paths ?entries ?stage roots =
+  analyze_units ?entries ?stage (units_of_paths roots)
 
 let effects_of_paths roots =
   Effects.analyze (Callgraph.build (units_of_paths roots))
+
+let absint_of_paths roots =
+  Absint.analyze (Callgraph.build (units_of_paths roots))

@@ -19,16 +19,31 @@ exception No_cmt_inputs of string list
 val catalogue : (string * Finding.severity * string) list
 
 (** Analyse already-loaded units. [entries] adds extra taint entry points
-    (keys or key prefixes, as given to [--entry]). *)
-val analyze_units : ?entries:string list -> Cmt_loader.unit_info list -> Finding.t list
+    (keys or key prefixes, as given to [--entry]). [stage] selects which
+    typed rules run: [`All] (default) or [`Numeric] — just the
+    interval-stage rules, as [--absint] requests. *)
+val analyze_units :
+  ?entries:string list ->
+  ?stage:[ `All | `Numeric ] ->
+  Cmt_loader.unit_info list ->
+  Finding.t list
 
 (** Load every unit under the given roots and analyse them. A root without
     [.cmt] files falls back to its compiled image under [_build/default], so
     plain source roots work from the repository root after a build. Raises
     {!No_cmt_inputs} when the roots yield no typed trees at all. *)
-val analyze_paths : ?entries:string list -> string list -> Finding.t list
+val analyze_paths :
+  ?entries:string list ->
+  ?stage:[ `All | `Numeric ] ->
+  string list ->
+  Finding.t list
 
 (** Effect summaries for every definition under the given roots, for the
     [--effects] footprint dump. Raises {!No_cmt_inputs} like
     {!analyze_paths}. *)
 val effects_of_paths : string list -> Effects.t
+
+(** Interval analysis over every definition under the given roots, for the
+    [--show-intervals] dump. Raises {!No_cmt_inputs} like
+    {!analyze_paths}. *)
+val absint_of_paths : string list -> Absint.t

@@ -11,8 +11,8 @@ type solution = {
   ry : float;
   qq : float;
   qy : float;
-  uq : float;
-  uy : float;
+  uq : float [@lopc.prob];
+  uy : float [@lopc.prob];
   throughput : float;
   contention : float;
 }
@@ -50,7 +50,7 @@ let queues ?(extra = 0.) (params : Params.t) s =
   let qy = s *. (1. +. qq +. (beta *. s)) in
   (qq, qy)
 [@@lint.allow
-  "unguarded-division"
+  "unguarded-division division-by-vanishing"
     "every solver keeps r above the golden-ratio multiple of So (see the header \
      comment), so 1 - s - s^2 stays strictly positive"]
 
@@ -76,7 +76,7 @@ let analyze ~execution ~work_scv (params : Params.t) ~w r =
     | Interrupt ->
       ((w +. (params.so *. qq)) /. (1. -. s)
       [@lint.allow
-        "unguarded-division"
+        "unguarded-division division-by-vanishing"
           "safe for the same reason as [queues]: s = So/r < 1 whenever r is in the \
            solvers' bracket, which starts at the contention-free bound"])
     | Polling | Protocol_processor -> w
@@ -150,18 +150,22 @@ let solve_polynomial ?execution ?work_scv params ~w =
 
 let solution_of_r (params : Params.t) ~w ~work_scv ~execution r =
   let rw, rq, ry, qq, qy, s = analyze ~execution ~work_scv params ~w r in
-  {
-    r;
-    rw;
-    rq;
-    ry;
-    qq;
-    qy;
-    uq = s;
-    uy = s;
-    throughput = Float.of_int params.p /. r;
-    contention = r -. lower_bound params ~w;
-  }
+  ({
+     r;
+     rw;
+     rq;
+     ry;
+     qq;
+     qy;
+     uq = s;
+     uy = s;
+     throughput = Float.of_int params.p /. r;
+     contention = r -. lower_bound params ~w;
+   }
+  [@lint.allow
+    "probability-range"
+      "s = So/r < 1 whenever r is in the solvers' bracket, which starts at the \
+       contention-free bound W + 2 St + 2 So > So"])
 
 (* The reliable all-to-all model cannot saturate: the queue denominator's
    positive root is the golden-ratio multiple of So, strictly below the

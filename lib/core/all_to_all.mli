@@ -27,8 +27,8 @@ type solution = {
   ry : float;          (** Reply-handler residence [Ry]. *)
   qq : float;          (** Request handlers at a node, [Qq]. *)
   qy : float;          (** Reply handlers at a node, [Qy]. *)
-  uq : float;          (** Utilization by request handlers, [Uq]. *)
-  uy : float;          (** Utilization by reply handlers, [Uy]. *)
+  uq : float [@lopc.prob];  (** Utilization by request handlers, [Uq]. *)
+  uy : float [@lopc.prob];  (** Utilization by reply handlers, [Uy]. *)
   throughput : float;  (** System throughput [X = P / R]. *)
   contention : float;  (** [R] minus the contention-free LogP cycle. *)
 }

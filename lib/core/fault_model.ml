@@ -2,18 +2,22 @@ module Fixed_point = Lopc_numerics.Fixed_point
 module Roots = Lopc_numerics.Roots
 
 type config = {
-  drop : float;
-  duplicate : float;
-  delay_epsilon : float;
-  spike_mean : float;
-  timeout : float;
+  drop : float [@lopc.prob];
+  duplicate : float [@lopc.prob];
+  delay_epsilon : float [@lopc.prob];
+  spike_mean : float [@lopc.cost];
+  timeout : float [@lopc.cost] [@lopc.unit "cycles"];
   backoff : int -> float;
   max_tries : int;
 }
 
 let config ?(drop = 0.) ?(duplicate = 0.) ?(delay_epsilon = 0.) ?(spike_mean = 0.)
     ?(backoff = fun _ -> 1.) ?(max_tries = 8) ~timeout () =
-  { drop; duplicate; delay_epsilon; spike_mean; timeout; backoff; max_tries }
+  ({ drop; duplicate; delay_epsilon; spike_mean; timeout; backoff; max_tries }
+  [@lint.allow
+    "probability-range negative-cost"
+      "raw constructor arguments: every solver entry point runs [validate] (via \
+       [check] or [check_inputs]) before using the record"])
 
 let validate c =
   if not (Float.is_finite c.drop) || c.drop < 0. || c.drop >= 1. then
@@ -92,7 +96,8 @@ let expected_timeout_wait c =
     done;
     (!acc /. (1. -. qb)
     [@lint.allow
-      "unguarded-division" "1 - q^B > 0 since q < 1 (drop < 1 forces pd > 0)"])
+      "unguarded-division division-by-vanishing"
+        "1 - q^B > 0 since q < 1 (drop < 1 forces pd > 0)"])
   end
 
 type solution = {
@@ -102,8 +107,8 @@ type solution = {
   ry : float;
   qq : float;
   qy : float;
-  uq : float;
-  uy : float;
+  uq : float [@lopc.prob];
+  uy : float [@lopc.prob];
   throughput : float;
   tries : float;
   timeout_wait : float;
@@ -121,7 +126,7 @@ let queues ~beta sq sy =
   let qq =
     (sq *. (1. +. sy +. (beta *. (sq +. sy)) +. (beta *. sq *. sy)) /. denom
     [@lint.allow
-      "unguarded-division"
+      "unguarded-division division-by-vanishing"
         "the solver keeps r strictly above the positive root of denom(r) = 0 (the \
          saturation floor)"])
   in
@@ -145,11 +150,17 @@ let fixed_point_map c (params : Params.t) ~w r =
   let rw =
     ((w +. (params.so *. qq)) /. (1. -. sq)
     [@lint.allow
-      "unguarded-division"
+      "unguarded-division division-by-vanishing"
         "r > saturation floor implies sq < 1 (see [solve_status])"])
   in
   rw +. expected_timeout_wait c +. (2. *. effective_wire c params)
-  +. (qq *. r /. kq) +. (qy *. r)
+  +. (qq *. r
+     /. kq
+     [@lint.allow
+       "division-by-vanishing"
+         "kq = E[tries] * (1 - drop)(1 + dup) >= 1 - drop > 0 because [validate] \
+          rejects drop >= 1"])
+  +. (qy *. r)
 
 let solution_of_r c (params : Params.t) ~w r =
   let beta = (params.c2 -. 1.) /. 2. in
@@ -160,24 +171,34 @@ let solution_of_r c (params : Params.t) ~w r =
   let rw =
     ((w +. (params.so *. qq)) /. (1. -. sq)
     [@lint.allow
-      "unguarded-division"
+      "unguarded-division division-by-vanishing"
         "r > saturation floor implies sq < 1 (see [solve_status])"])
   in
-  {
-    r;
-    rw;
-    rq = qq *. r /. kq;
-    ry = qy *. r;
-    qq;
-    qy;
-    uq = sq;
-    uy = sy;
-    throughput = Float.of_int params.p /. r;
-    tries = expected_tries c;
-    timeout_wait = expected_timeout_wait c;
-    load = kq;
-    failure_rate = failure_probability c;
-  }
+  ({
+     r;
+     rw;
+     rq =
+       (qq *. r
+       /. kq
+       [@lint.allow
+         "division-by-vanishing"
+           "kq = E[tries] * (1 - drop)(1 + dup) >= 1 - drop > 0 because [validate] \
+            rejects drop >= 1"]);
+     ry = qy *. r;
+     qq;
+     qy;
+     uq = sq;
+     uy = sy;
+     throughput = Float.of_int params.p /. r;
+     tries = expected_tries c;
+     timeout_wait = expected_timeout_wait c;
+     load = kq;
+     failure_rate = failure_probability c;
+   }
+  [@lint.allow
+    "probability-range"
+      "sq and sy are utilizations below 1 for any r above the saturation floor, \
+       the only regime in which [solve_status] builds a solution"])
 
 let check_inputs c (params : Params.t) ~w =
   (match Params.validate params with
@@ -235,7 +256,18 @@ let solve_status ?probe ?budget c (params : Params.t) ~w =
          that a fixed point exists strictly above the floor. *)
       let start = r_floor *. (1. +. 1e-9) in
       if f start <= 0. then
-        (None, Fixed_point.Saturated { station = 0; utilization = a /. start })
+        ( None,
+          Fixed_point.Saturated
+            {
+              station = 0;
+              utilization =
+                (a
+                /. start
+                [@lint.allow
+                  "division-by-vanishing"
+                    "start > r_floor >= sqrt(a*b) > 0: a and b are positive once \
+                     [validate] accepts the parameters"]);
+            } )
       else begin
         match
           let lo, hi = Roots.expand_bracket_upward ~f start in

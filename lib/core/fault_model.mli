@@ -28,11 +28,16 @@
     features and are not modeled. *)
 
 type config = {
-  drop : float;           (** Per-traversal loss probability ℓ ∈ [0, 1). *)
-  duplicate : float;      (** Per-traversal duplication probability ∈ [0, 1]. *)
-  delay_epsilon : float;  (** Delay-spike mixture weight ε ∈ [0, 1]. *)
-  spike_mean : float;     (** Mean of the spike wire distribution. *)
-  timeout : float;        (** Base retransmission timeout T > 0. *)
+  drop : float [@lopc.prob];
+      (** Per-traversal loss probability ℓ ∈ [0, 1). *)
+  duplicate : float [@lopc.prob];
+      (** Per-traversal duplication probability ∈ [0, 1]. *)
+  delay_epsilon : float [@lopc.prob];
+      (** Delay-spike mixture weight ε ∈ [0, 1]. *)
+  spike_mean : float [@lopc.cost];
+      (** Mean of the spike wire distribution. *)
+  timeout : float [@lopc.cost] [@lopc.unit "cycles"];
+      (** Base retransmission timeout T > 0. *)
   backoff : int -> float;
       (** Timeout multiplier of the n-th try (1-based, ≥ 1) — pass
           [Lopc_activemsg.Fault.timeout_multiplier] to mirror a simulator
@@ -85,8 +90,8 @@ type solution = {
   ry : float;            (** Reply residence. *)
   qq : float;            (** Request-handler queue length. *)
   qy : float;            (** Reply-handler queue length. *)
-  uq : float;            (** Request-handler utilization (inflated). *)
-  uy : float;            (** Reply-handler utilization. *)
+  uq : float [@lopc.prob];  (** Request-handler utilization (inflated). *)
+  uy : float [@lopc.prob];  (** Reply-handler utilization. *)
   throughput : float;    (** Goodput [P/R] (failure rate assumed small). *)
   tries : float;         (** {!expected_tries}. *)
   timeout_wait : float;  (** {!expected_timeout_wait}. *)

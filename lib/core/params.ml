@@ -1,4 +1,9 @@
-type t = { p : int; st : float; so : float; c2 : float }
+type t = {
+  p : int;
+  st : float [@lopc.cost] [@lopc.unit "cycles"];
+  so : float [@lopc.cost] [@lopc.unit "cycles"];
+  c2 : float [@lopc.cost];
+}
 
 let validate t =
   let err fmt = Format.kasprintf (fun s -> Error s) fmt in
@@ -9,13 +14,20 @@ let validate t =
   else Ok t
 
 let create ?(c2 = 1.) ~p ~st ~so () =
-  match validate { p; st; so; c2 } with
+  match
+    validate
+      ({ p; st; so; c2 }
+      [@lint.allow
+        "negative-cost"
+          "raw constructor arguments: [validate] rejects any out-of-range field \
+           before the record escapes"])
+  with
   | Ok t -> t
   | Error reason -> invalid_arg ("Params: " ^ reason)
 
 let of_logp ~l ~o ~p = create ~p ~st:l ~so:o ()
 
-type algorithm = { n : int; w : float }
+type algorithm = { n : int; w : float [@lopc.cost] [@lopc.unit "cycles"] }
 
 let algorithm ~n ~w =
   if n < 0 then invalid_arg "Params.algorithm: negative request count";

@@ -17,11 +17,13 @@
 
 type t = {
   p : int;     (** Number of processors. *)
-  st : float;  (** Wire latency per network traversal (LogP's [L]). *)
-  so : float;  (** Handler occupancy: interrupt + handler service
-                   (LogP's [o]). *)
-  c2 : float;  (** Squared coefficient of variation of handler service
-                   time: [0.] constant, [1.] exponential (default). *)
+  st : float [@lopc.cost] [@lopc.unit "cycles"];
+      (** Wire latency per network traversal (LogP's [L]). *)
+  so : float [@lopc.cost] [@lopc.unit "cycles"];
+      (** Handler occupancy: interrupt + handler service (LogP's [o]). *)
+  c2 : float [@lopc.cost];
+      (** Squared coefficient of variation of handler service time:
+          [0.] constant, [1.] exponential (default). *)
 }
 
 val create : ?c2:float -> p:int -> st:float -> so:float -> unit -> t
@@ -39,8 +41,9 @@ val validate : t -> (t, string) result
 (** Check the invariants listed under {!create}. *)
 
 type algorithm = {
-  n : int;    (** Total blocking requests issued per thread. *)
-  w : float;  (** Average local work between requests. *)
+  n : int;  (** Total blocking requests issued per thread. *)
+  w : float [@lopc.cost] [@lopc.unit "cycles"];
+      (** Average local work between requests. *)
 }
 (** Algorithmic characterization. *)
 

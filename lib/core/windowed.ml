@@ -28,7 +28,7 @@ let queues (params : Params.t) u =
   let qy = u *. (1. +. qq +. (beta *. u)) in
   (qq, qy)
 [@@lint.allow
-  "unguarded-division"
+  "unguarded-division division-by-vanishing"
     "the only caller, [residencies], rejects u at or above the golden-ratio bound \
      before calling in, so 1 - u - u^2 stays strictly positive"]
 

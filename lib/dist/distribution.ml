@@ -117,7 +117,15 @@ let of_mean_scv ~mean:m ~scv:c2 =
        p = (1 + sqrt((C²−1)/(C²+1))) / 2, branch means chosen so each
        branch contributes half the total mean. *)
     let p = (1. +. sqrt ((c2 -. 1.) /. (c2 +. 1.))) /. 2. in
-    let m1 = m /. (2. *. p) and m2 = m /. (2. *. (1. -. p)) in
+    let m1 = m /. (2. *. p)
+    and m2 =
+      (m
+      /. (2. *. (1. -. p))
+      [@lint.allow
+        "division-by-vanishing"
+          "this branch has finite c2 > 1, so sqrt((c2-1)/(c2+1)) < 1 strictly and \
+           p < 1, keeping 1 - p positive"])
+    in
     Hyperexponential (p, m1, m2)
   end
 

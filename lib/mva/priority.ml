@@ -1,4 +1,4 @@
-let check_common ~work ~handler_util =
+let check_common ~work ~handler_util:(handler_util [@lopc.prob]) =
   if not (Float.is_finite work) || work < 0. then
     invalid_arg "Priority: work must be finite and >= 0";
   if not (Float.is_finite handler_util) || handler_util < 0. then
@@ -6,20 +6,20 @@ let check_common ~work ~handler_util =
   if handler_util >= 1. then
     invalid_arg "Priority: handler utilization >= 1 leaves no capacity for the thread"
 
-let bkt ~work ~handler_service ~handler_queue ~handler_util =
+let bkt ~work ~handler_service ~handler_queue ~handler_util:(handler_util [@lopc.prob]) =
   check_common ~work ~handler_util;
   if handler_service < 0. || handler_queue < 0. then
     invalid_arg "Priority.bkt: negative handler service or queue";
   (work +. (handler_service *. handler_queue)) /. (1. -. handler_util)
 [@@lint.allow
-  "unguarded-division"
+  "unguarded-division division-by-vanishing"
     "dominated by check_common, which rejects handler_util >= 1 before any division \
      runs; the guard is interprocedural, out of the rule's sight"]
 
-let shadow_server ~work ~handler_util =
+let shadow_server ~work ~handler_util:(handler_util [@lopc.prob]) =
   check_common ~work ~handler_util;
   work /. (1. -. handler_util)
 [@@lint.allow
-  "unguarded-division"
+  "unguarded-division division-by-vanishing"
     "dominated by check_common, which rejects handler_util >= 1 before any division \
      runs; the guard is interprocedural, out of the rule's sight"]

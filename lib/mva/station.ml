@@ -1,6 +1,11 @@
 type kind = Queueing | Delay
 
-type t = { kind : kind; demand : float; scv : float; servers : int }
+type t = {
+  kind : kind;
+  demand : float [@lopc.cost] [@lopc.unit "cycles"];
+  scv : float [@lopc.cost];
+  servers : int;
+}
 
 let validate t =
   if t.demand < 0. || not (Float.is_finite t.demand) then
@@ -15,9 +20,20 @@ let check t =
   match validate t with Ok t -> t | Error reason -> invalid_arg ("Station: " ^ reason)
 
 let queueing ?(scv = 1.) ?(servers = 1) ~demand () =
-  check { kind = Queueing; demand; scv; servers }
+  check
+    ({ kind = Queueing; demand; scv; servers }
+    [@lint.allow
+      "negative-cost"
+        "raw constructor arguments: [check] rejects any out-of-range field before \
+         the record escapes"])
 
-let delay ~demand = check { kind = Delay; demand; scv = 0.; servers = 1 }
+let delay ~demand =
+  check
+    ({ kind = Delay; demand; scv = 0.; servers = 1 }
+    [@lint.allow
+      "negative-cost"
+        "raw constructor argument: [check] rejects a negative demand before the \
+         record escapes"])
 
 let pp ppf t =
   match t.kind with

@@ -12,8 +12,10 @@ type kind =
 
 type t = {
   kind : kind;
-  demand : float;  (** Per-cycle service demand [V ·. S], [>= 0.]. *)
-  scv : float;     (** Squared coefficient of variation of service time. *)
+  demand : float [@lopc.cost] [@lopc.unit "cycles"];
+      (** Per-cycle service demand [V ·. S], [>= 0.]. *)
+  scv : float [@lopc.cost];
+      (** Squared coefficient of variation of service time. *)
   servers : int;   (** Parallel servers at the station ([1] = classic
                        FCFS). Multi-server stations are handled by the
                        approximate solvers with the Seidmann

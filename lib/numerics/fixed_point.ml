@@ -205,7 +205,15 @@ let solve_scalar_aitken ?(tol = 1e-12) ?(max_iter = 200) ~f x0 =
          raise (Diverged "Aitken iteration left the finite domain");
        let denom = x2 -. (2. *. x1) +. !x in
        let next =
-         if Float.equal denom 0. then x2 else !x -. (((x1 -. !x) ** 2.) /. denom)
+         if Float.equal denom 0. then x2
+         else
+           !x
+           -. (((x1 -. !x) ** 2.)
+              /. denom
+              [@lint.allow
+                "division-by-vanishing"
+                  "the Float.equal guard excludes exactly zero; carving a point out \
+                   of an interval is beyond the interval domain"])
        in
        if Float.abs (next -. !x) <= tol *. Float.max 1. (Float.abs next) then begin
          answer := Some next;

@@ -28,11 +28,19 @@ let parabolic t i d =
       /. (p.(i + 1) -. p.(i - 1))
       *. (((p.(i) -. p.(i - 1) +. d) *. (h.(i + 1) -. h.(i)) /. (p.(i + 1) -. p.(i)))
          +. ((p.(i + 1) -. p.(i) -. d) *. (h.(i) -. h.(i - 1)) /. (p.(i) -. p.(i - 1)))))
+[@@lint.allow
+  "division-by-vanishing"
+    "[add] only adjusts marker i when both neighbour gaps exceed 1 (the P^2 \
+     precondition), so every position difference here is >= 1"]
 
 let linear t i d =
   let h = t.heights and p = t.positions in
   let j = i + int_of_float d in
   h.(i) +. (d *. (h.(j) -. h.(i)) /. (p.(j) -. p.(i)))
+[@@lint.allow
+  "division-by-vanishing"
+    "positions are strictly increasing integers stored as floats, so adjacent \
+     marker positions differ by at least 1"]
 
 let add t x =
   if not (Float.is_finite x) then invalid_arg "P2_quantile.add: non-finite observation";

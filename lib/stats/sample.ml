@@ -15,7 +15,8 @@ let of_array a =
   let variance =
     if Array.length data < 2 then 0.
     else
-      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. data /. (n -. 1.)
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. data
+      /. Float.of_int (Array.length data - 1)
   in
   { data; mean; variance }
 

@@ -1,0 +1,5 @@
+(* Only the upper bound is guarded, so the interval flowing into the
+   non-negative cost field still reaches below zero. *)
+type t = { budget : float [@lopc.cost] }
+
+let of_measure x = if x <= 100. then { budget = x } else { budget = 100. }

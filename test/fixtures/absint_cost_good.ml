@@ -1,0 +1,5 @@
+(* The lower bound is the one the annotation needs: x >= 0. holding
+   refines x to [0, +inf] without NaN. *)
+type t = { budget : float [@lopc.cost] }
+
+let of_measure x = if x >= 0. then { budget = x } else { budget = 0. }

@@ -1,0 +1,5 @@
+(* Guard on the wrong side: the conditional names u, which satisfies the
+   syntactic unguarded-division heuristic, but u >= 0. leaves u <= 1
+   unproven — 1. -. u still straddles zero. Only the interval stage can
+   tell this apart from the good fixture. *)
+let residence s u = if u >= 0. then s /. (1. -. u) else s

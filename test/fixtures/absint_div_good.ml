@@ -1,0 +1,3 @@
+(* u < 1. holding bounds u away from 1 (Float.pred 1.), so the corner
+   evaluation of 1. -. u excludes zero and the division is proven safe. *)
+let residence s u = if u < 1. then s /. (1. -. u) else s

@@ -1,0 +1,6 @@
+(* Guard on one branch only: a reachability or syntactic pass sees a
+   conditional over x, but only the upper bound is proven — x may still be
+   negative when it flows into the probability-annotated field. *)
+type t = { q : float [@lopc.prob] }
+
+let clamp_above x = if x <= 1. then { q = x } else { q = 1. }

@@ -1,0 +1,5 @@
+(* Both bounds proven on the constructing branch: x is refined to [0, 1]
+   (and NaN-free, since a held comparison rules NaN out). *)
+type t = { q : float [@lopc.prob] }
+
+let clamp x = if x >= 0. && x <= 1. then { q = x } else { q = 0. }

@@ -1,0 +1,4 @@
+(* Minimal summary fixture for the --show-intervals format test: one
+   annotated parameter, and a return interval the transfer functions can
+   pin to [0, 1]. *)
+let consume ~q:(q [@lopc.prob]) = 1. -. q

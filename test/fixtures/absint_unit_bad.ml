@@ -1,0 +1,7 @@
+(* Two different [@lopc.unit] tags mixed additively. *)
+type sample = {
+  cycles : float [@lopc.unit "cycles"];
+  bytes : float [@lopc.unit "bytes"];
+}
+
+let total s = s.cycles +. s.bytes

@@ -1,0 +1,8 @@
+(* An explicit conversion factor: multiplication drops the dimension tag,
+   so the sum no longer mixes declared units. *)
+type sample = {
+  cycles : float [@lopc.unit "cycles"];
+  bytes : float [@lopc.unit "bytes"];
+}
+
+let total s = s.cycles +. (s.bytes *. 0.25)

@@ -240,6 +240,97 @@ let test_json_report () =
   Alcotest.(check bool) "json carries the line" true (contains {|"line":1|});
   Alcotest.(check bool) "json counts findings" true (contains {|"count": 1|})
 
+let test_sarif_report () =
+  let findings =
+    Driver.lint_source ~path:"bin/fixture.ml"
+      "let f x = x = 1.0\nlet g w u = w /. (1. -. u)"
+  in
+  let render () =
+    Format.asprintf "%a" (fun ppf -> Driver.report ppf ~format:Driver.Sarif) findings
+  in
+  let sarif = render () in
+  Alcotest.(check string) "sarif rendering is byte-stable" sarif (render ());
+  let contains needle =
+    let nl = String.length needle and jl = String.length sarif in
+    let rec go i = i + nl <= jl && (String.sub sarif i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "sarif version" true (contains {|"version": "2.1.0"|});
+  Alcotest.(check bool) "rule id" true (contains {|"ruleId": "float-equality"|});
+  Alcotest.(check bool) "rule metadata is present" true
+    (contains {|"id": "unguarded-division"|});
+  Alcotest.(check bool) "columns are 1-based" true
+    (contains {|"startLine": 1, "startColumn": 11|})
+
+(* --- deterministic merge of the parallel syntactic stage ----------------- *)
+
+(* A hermetic source tree seeded with findings in every file, so the merge
+   actually has something to order. The comments and string literals are
+   load-bearing: they drive the compiler-libs lexer through its global
+   string/comment buffers, which is exactly the state a non-serialised
+   parallel parse races on (lexer.mll assertion failures). Keep the files
+   big enough that 8 domains genuinely overlap. *)
+let with_seeded_tree f =
+  let dir = Filename.temp_file "lopc_lint_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      for i = 0 to 23 do
+        let path = Filename.concat dir (Printf.sprintf "f%02d.ml" i) in
+        Out_channel.with_open_bin path (fun oc ->
+            Printf.fprintf oc "let eq%d x = x = %d.0\nlet div%d w u = w /. (1. -. u)\n"
+              i i i;
+            for j = 0 to 199 do
+              Printf.fprintf oc
+                "(* comment %d.%d with (* nesting *) and \"quotes\" *)\n\
+                 let s%d_%d = \"literal \\\"%d\\\" with escapes\\n\"\n"
+                i j i j j
+            done)
+      done;
+      f dir)
+
+let render_json findings =
+  Format.asprintf "%a" (fun ppf -> Driver.report ppf ~format:Driver.Json) findings
+
+let test_parallel_merge_identical () =
+  with_seeded_tree (fun dir ->
+      let sequential = Driver.lint_paths [ dir ] in
+      Alcotest.(check bool) "the seeded tree has findings" true (sequential <> []);
+      (* Reverse-index execution: proves the merge does not depend on task
+         completion order. *)
+      let reversed =
+        Driver.lint_paths
+          ~map_tasks:(fun tasks ->
+            let n = Array.length tasks in
+            let out = Array.make n [] in
+            for i = n - 1 downto 0 do
+              out.(i) <- tasks.(i) ()
+            done;
+            out)
+          [ dir ]
+      in
+      Alcotest.(check string) "reverse-order execution is byte-identical"
+        (render_json sequential) (render_json reversed);
+      (* And the real worker pool, as wired by [lopc_lint --jobs 8] —
+         repeated, because a racy parallel parse (compiler-libs' lexer
+         state is global) fails intermittently, not every run. *)
+      for round = 1 to 5 do
+        let pooled =
+          Driver.lint_paths
+            ~map_tasks:(fun tasks ->
+              Lopc_repro.Parallel.with_pool ~jobs:8 (fun pool ->
+                  Lopc_repro.Parallel.run pool tasks))
+            [ dir ]
+        in
+        Alcotest.(check string)
+          (Printf.sprintf "8-domain pool is byte-identical (round %d)" round)
+          (render_json sequential) (render_json pooled)
+      done)
+
 let suite =
   [
     Alcotest.test_case "float-equality fires" `Quick test_float_equality_fires;
@@ -263,4 +354,6 @@ let suite =
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
     Alcotest.test_case "parse error" `Quick test_parse_error;
     Alcotest.test_case "json report" `Quick test_json_report;
+    Alcotest.test_case "sarif report" `Quick test_sarif_report;
+    Alcotest.test_case "parallel merge identical" `Quick test_parallel_merge_identical;
   ]

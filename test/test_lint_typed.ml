@@ -736,12 +736,13 @@ let test_json_stable_with_race_findings () =
 
 let test_typed_catalogue () =
   Alcotest.(check (list string))
-    "the nine typed rules, in catalogue order"
+    "the thirteen typed rules, in catalogue order"
     [
       "determinism-taint"; "exn-escape"; "rng-stream-discipline";
       "parallel-rng-capture"; "obs-no-wallclock"; "unbounded-retry";
       "domain-shared-mutation"; "atomic-read-modify-write";
-      "mutable-toplevel-escape";
+      "mutable-toplevel-escape"; "probability-range"; "negative-cost";
+      "division-by-vanishing"; "unit-mismatch";
     ]
     (List.map (fun (id, _, _) -> id) Typed_driver.catalogue)
 

@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("lint_typed", Test_lint_typed.suite);
+      ("absint", Test_absint.suite);
     ]

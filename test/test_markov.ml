@@ -35,7 +35,7 @@ let test_ctmc_mm1k () =
   let norm =
     ((1. -. rho) /. (1. -. (rho ** Float.of_int (k + 1)))
     [@lint.allow
-      "unguarded-division"
+      "unguarded-division division-by-vanishing"
         "closed-form M/M/1/K reference with fixed test parameters l < m, so rho is \
          a constant strictly below 1 and the normalizer is positive"])
   in

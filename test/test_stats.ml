@@ -64,7 +64,8 @@ let prop_welford_matches_direct =
       let n = Float.of_int (List.length xs) in
       let mean = List.fold_left ( +. ) 0. xs /. n in
       let var =
-        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        /. Float.of_int (List.length xs - 1)
       in
       Float.abs (Welford.mean w -. mean) <= 1e-6 *. Float.max 1. (Float.abs mean)
       && Float.abs (Welford.variance w -. var) <= 1e-6 *. Float.max 1. var)
