@@ -26,9 +26,16 @@ type cycle_report = {
 }
 
 (* One compute/request cycle of a thread, from the instant the thread
-   (re)starts local work to the completion of its reply handler. *)
+   (re)starts local work to the completion of its reply handler.
+
+   All-float on purpose: OCaml lays such a record out flat, so the
+   per-hop accumulator stores ([t_sent], [rq_total], [wire_total]) are
+   plain writes; with a mixed record every one of them would allocate a
+   fresh float box. The origin node id rides along as a float — ids are
+   small ints, exact far below 2^53 — and is converted back at its three
+   integer use sites. *)
 type cycle = {
-  origin : int;
+  origin : float;
   t_start : float;
   mutable t_sent : float;
   mutable rq_total : float;
@@ -72,10 +79,6 @@ type node = {
   queue : msg Queue.t;
   mutable busy : bool;  (* handler resource (CPU or protocol processor) *)
   mutable outstanding : int;  (* requests in flight (windowed sends) *)
-  (* FIFO network interfaces, serialized by timestamp: a message passes
-     each NI for [gap] cycles; the next message waits for the NI. *)
-  mutable send_ni_free_at : float;
-  mutable recv_ni_free_at : float;
   mutable cycles_done : int;   (* completed cycles (for barrier pacing) *)
   mutable parked : bool;       (* waiting at a barrier *)
   (* Fault-layer state (untouched when the spec injects no faults): *)
@@ -98,6 +101,12 @@ type machine = {
   (* Torus link bookkeeping: links.(node).(direction) is the time at which
      that outgoing link becomes free (timestamp-serialized FIFO). *)
   links : float array array;
+  (* FIFO network interfaces, serialized by timestamp: a message passes
+     each NI for [gap] cycles; the next message waits for the NI. Indexed
+     by node id in flat float arrays (rather than mutable node fields) so
+     the stores on the per-message path never allocate a float box. *)
+  send_ni_free : float array;
+  recv_ni_free : float array;
   (* Per-node fault-injection streams. Split from the master AFTER the node
      streams, and consulted only for fault decisions, so a run with a
      zero-probability fault config consumes exactly the same node-stream
@@ -168,7 +177,8 @@ and begin_cycle m node =
   | Some thread ->
     let now = Engine.now m.engine in
     let cycle =
-      { origin = node.id; t_start = now; t_sent = Float.nan; rq_total = 0.; wire_total = 0. }
+      { origin = Float.of_int node.id; t_start = now; t_sent = Float.nan;
+        rq_total = 0.; wire_total = 0. }
     in
     node.current_cycle <- Some cycle;
     let w = Distribution.sample thread.Spec.work node.rng in
@@ -261,8 +271,8 @@ and send_copy m ~src ~cycle ~kind ~remaining ~dest ~seq ~spiked =
   let injected =
     if Float.equal gap 0. then now
     else begin
-      let start = Float.max now src.send_ni_free_at in
-      src.send_ni_free_at <- start +. gap;
+      let start = Float.max now m.send_ni_free.(src.id) in
+      m.send_ni_free.(src.id) <- start +. gap;
       start +. gap
     end
   in
@@ -312,8 +322,8 @@ and wire_arrival m node msg =
   if Float.equal gap 0. then arrival m node msg
   else begin
     let now = Engine.now m.engine in
-    let start = Float.max now node.recv_ni_free_at in
-    node.recv_ni_free_at <- start +. gap;
+    let start = Float.max now m.recv_ni_free.(node.id) in
+    m.recv_ni_free.(node.id) <- start +. gap;
     ignore
       (Engine.schedule_at m.engine ~time:(start +. gap) (fun _ -> arrival m node msg))
   end
@@ -336,7 +346,7 @@ and arrival m node msg =
     else begin
       match msg.kind with
       | Request ->
-        let origin = msg.cycle.origin in
+        let origin = Float.to_int msg.cycle.origin in
         (match Hashtbl.find_opt node.seen origin with
         | Some last when msg.seq <= last ->
           if m.measuring then
@@ -441,7 +451,7 @@ and handler_done m node msg =
         ~seq:msg.seq
     | [] ->
       send m ~src:node ~cycle:msg.cycle ~kind:Reply ~remaining:[]
-        ~dest:msg.cycle.origin ~seq:msg.seq
+        ~dest:(Float.to_int msg.cycle.origin) ~seq:msg.seq
   end
   | Reply -> complete_cycle m node msg);
   try_dispatch m node;
@@ -503,7 +513,7 @@ and give_up m node p =
 and complete_cycle m node msg =
   let now = Engine.now m.engine in
   let cycle = msg.cycle in
-  assert (cycle.origin = node.id);
+  assert (Float.to_int cycle.origin = node.id);
   node.outstanding <- node.outstanding - 1;
   (match m.spec.Spec.fault with
   | None -> ()
@@ -607,8 +617,6 @@ let prepare ?on_cycle ?rng ?obs ?budget ~seed ~warmup ~max_events ~spec () =
           queue = Queue.create ();
           busy = false;
           outstanding = 0;
-          send_ni_free_at = 0.;
-          recv_ni_free_at = 0.;
           cycles_done = 0;
           parked = false;
           next_seq = 0;
@@ -631,6 +639,8 @@ let prepare ?on_cycle ?rng ?obs ?budget ~seed ~warmup ~max_events ~spec () =
     { spec; engine; nodes; metrics; measuring = false; completed_total = 0;
       completed_measured = 0; thread_count; parked_count = 0; on_cycle;
       links = Array.init spec.Spec.nodes (fun _ -> Array.make 4 0.);
+      send_ni_free = Array.make spec.Spec.nodes 0.;
+      recv_ni_free = Array.make spec.Spec.nodes 0.;
       fault_rngs; obs; interrupted = None }
   in
   if thread_count = 0 then invalid_arg "Machine: no node runs a compute thread";

@@ -122,24 +122,26 @@ let source_files roots =
    mapper ([Lopc_repro.Parallel.run]) for [--jobs N] without this library
    depending on the runtime. Any mapper must return results in task
    order; findings are then concatenated in file order and sorted, so the
-   output is byte-identical whatever the worker count. Files are read and
-   parsed sequentially up front — the parse is serial anyway (see
-   [parse_lock]), so doing it here costs nothing and leaves the workers
-   contention-free on the rule checks. *)
+   output is byte-identical whatever the worker count.
+
+   Each task is the whole per-file job — read, parse, check — and only
+   the parse itself runs under [parse_lock]. Parsing stays serialised
+   (compiler-libs' lexer state, see above), but it now overlaps with
+   other files' reads and rule checks instead of completing for every
+   file before the first check starts: the old layout parsed everything
+   up front as a serial prefix, which made [--jobs N] strictly slower
+   than [--jobs 1] (pool overhead with no overlap to pay for it). *)
 let lint_paths ?rules ?map_tasks roots =
   let files = source_files roots in
-  let parsed =
-    List.map
-      (fun path ->
-        match read_file path with
-        | contents -> (path, parse ~path contents)
-        | exception Sys_error msg ->
-          (path, Parse_failed (whole_file_loc path, msg)))
-      files
-  in
   let tasks =
     Array.of_list
-      (List.map (fun (path, p) () -> check_parsed ?rules ~path p) parsed)
+      (List.map
+         (fun path () ->
+           match read_file path with
+           | contents -> check_parsed ?rules ~path (parse ~path contents)
+           | exception Sys_error msg ->
+             [ Rule.finding parse_error_rule ~loc:(whole_file_loc path) msg ])
+         files)
   in
   let results =
     match map_tasks with

@@ -145,7 +145,21 @@ let mul a b =
         || (contains_zero a && may_inf b)
         || (contains_zero b && may_inf a)
       in
-      of_corners ~nan [ al *. bl; al *. bh; ah *. bl; ah *. bh ])
+      (* A corner like 0 * inf evaluates to NaN and drops out of the hull,
+         but zero-times-finite products of interior members are real: for
+         [-0,-0] * [-inf,inf] every corner is NaN while -0. *. 1. is -0.
+         Whenever one operand admits 0 and the other a finite value, 0 is
+         an attainable product, so pin it into the hull explicitly. *)
+      let has_finite lo hi = lo < hi || Float.is_finite lo in
+      let corners = [ al *. bl; al *. bh; ah *. bl; ah *. bh ] in
+      let corners =
+        if
+          (contains_zero a && has_finite bl bh)
+          || (contains_zero b && has_finite al ah)
+        then 0. :: corners
+        else corners
+      in
+      of_corners ~nan corners)
     a b
 
 let div a b =

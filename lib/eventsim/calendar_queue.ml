@@ -1,0 +1,267 @@
+(* Calendar queue (Brown 1988): a circular array of day buckets, each
+   covering [width] of simulated time; an event at time [t] lives in
+   bucket [floor (t / width) mod nbuckets] and is popped when the scan
+   cursor reaches its year. With the bucket count resized to track the
+   queue size and the width to track the mean event spacing, push and pop
+   are O(1) amortized — no log factor at high event rates, which is where
+   the binary heap spends its time.
+
+   The pop order is exactly the (time, seq) total order of {!Event_heap}:
+   buckets keep their entries sorted by (time, seq), sequence numbers are
+   unique, and the year scan only ever skips buckets with no event in the
+   current year — so the bucket layout is invisible in the output, which
+   the differential tests pin down.
+
+   Buckets are struct-of-arrays like the heap: times and sequence numbers
+   in flat unboxed arrays, payloads in a parallel ['a option array] whose
+   [Some] cells are handed back verbatim by [pop_payload]. Vacated slots
+   are nulled for the same payload-retention reason as in {!Event_heap}. *)
+
+type 'a bucket = {
+  mutable btimes : float array;
+  mutable bseqs : int array;
+  mutable bdata : 'a option array;
+  mutable bcount : int;
+}
+
+type 'a t = {
+  mutable buckets : 'a bucket array;  (* length is a power of two *)
+  mutable width : float;              (* day length, strictly positive *)
+  mutable cur_k : float;              (* virtual (un-wrapped) bucket index of the scan *)
+  mutable cur_idx : int;              (* cur_k mod nbuckets *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let min_buckets = 4
+
+let fresh_bucket () =
+  { btimes = [||]; bseqs = [||]; bdata = [||]; bcount = 0 }
+
+let create () =
+  {
+    buckets = Array.init min_buckets (fun _ -> fresh_bucket ());
+    width = 1.;
+    cur_k = 0.;
+    cur_idx = 0;
+    size = 0;
+    next_seq = 0;
+  }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+(* Virtual bucket index of [time] — kept in float so enormous [t / width]
+   ratios cannot overflow an int before the modulo brings them down. *)
+let vbucket t time = Float.floor (time /. t.width)
+
+let idx_of_vbucket t k =
+  let nf = Float.of_int (Array.length t.buckets) in
+  let r = Float.rem k nf in
+  let r = if r < 0. then r +. nf else r in
+  Float.to_int r
+
+let bucket_grow b =
+  let cap = Array.length b.bdata in
+  let new_cap = if cap = 0 then 4 else cap * 2 in
+  let times = Array.make new_cap 0. in
+  let seqs = Array.make new_cap 0 in
+  let data = Array.make new_cap None in
+  Array.blit b.btimes 0 times 0 b.bcount;
+  Array.blit b.bseqs 0 seqs 0 b.bcount;
+  Array.blit b.bdata 0 data 0 b.bcount;
+  b.btimes <- times;
+  b.bseqs <- seqs;
+  b.bdata <- data
+
+(* Insert keeping the bucket sorted ascending by (time, seq). Scanning
+   from the back is the common case: fresh events carry the largest seq,
+   so equal-time pushes land at the end without shifting. *)
+let bucket_insert b ~time ~seq payload =
+  if b.bcount = Array.length b.bdata then bucket_grow b;
+  let pos = ref b.bcount in
+  while
+    !pos > 0
+    && (b.btimes.(!pos - 1) > time
+       || (Float.equal b.btimes.(!pos - 1) time && b.bseqs.(!pos - 1) > seq))
+  do
+    b.btimes.(!pos) <- b.btimes.(!pos - 1);
+    b.bseqs.(!pos) <- b.bseqs.(!pos - 1);
+    b.bdata.(!pos) <- b.bdata.(!pos - 1);
+    decr pos
+  done;
+  b.btimes.(!pos) <- time;
+  b.bseqs.(!pos) <- seq;
+  b.bdata.(!pos) <- payload;
+  b.bcount <- b.bcount + 1
+[@@lint.allow
+  "unbounded-retry"
+    "the insertion scan strictly decrements [pos] from [bcount] toward 0, so \
+     it is bounded by the bucket occupancy; no budget can be threaded below \
+     the simulator's per-event granularity"]
+
+(* Remove the head (the bucket minimum) and return its payload cell. *)
+let bucket_pop_head b =
+  let payload = b.bdata.(0) in
+  let last = b.bcount - 1 in
+  for i = 0 to last - 1 do
+    b.btimes.(i) <- b.btimes.(i + 1);
+    b.bseqs.(i) <- b.bseqs.(i + 1);
+    b.bdata.(i) <- b.bdata.(i + 1)
+  done;
+  (* Null the vacated tail slot: payloads must die with their pop. *)
+  b.bdata.(last) <- None;
+  b.bcount <- last;
+  payload
+
+(* Re-bucket every entry into [new_n] buckets with a width recalibrated
+   from the current time span: width ~ 2x the mean inter-event spacing,
+   floored so that [time / width] stays well inside float integer range.
+   Deterministic — a pure function of the queue contents. *)
+let resize t new_n =
+  let entries_t = Array.make t.size 0. in
+  let entries_s = Array.make t.size 0 in
+  let entries_p = Array.make t.size None in
+  let fill = ref 0 in
+  Array.iter
+    (fun b ->
+      for i = 0 to b.bcount - 1 do
+        entries_t.(!fill) <- b.btimes.(i);
+        entries_s.(!fill) <- b.bseqs.(i);
+        entries_p.(!fill) <- b.bdata.(i);
+        incr fill
+      done)
+    t.buckets;
+  let min_t = ref Float.infinity and max_t = ref Float.neg_infinity in
+  Array.iter
+    (fun x ->
+      if x < !min_t then min_t := x;
+      if x > !max_t then max_t := x)
+    entries_t;
+  let span = !max_t -. !min_t in
+  let width =
+    if t.size <= 1 || span <= 0. then 1.
+    else 2. *. span /. Float.of_int t.size
+  in
+  (* Keep |time| / width <= 2^40 so the virtual bucket index is exact. *)
+  let magnitude = Float.max (Float.abs !max_t) (Float.abs !min_t) in
+  let width = Float.max width (Float.ldexp (Float.max magnitude 1.) (-40)) in
+  t.width <- width;
+  t.buckets <- Array.init new_n (fun _ -> fresh_bucket ());
+  for i = 0 to t.size - 1 do
+    let k = vbucket t entries_t.(i) in
+    bucket_insert t.buckets.(idx_of_vbucket t k) ~time:entries_t.(i)
+      ~seq:entries_s.(i) entries_p.(i)
+  done;
+  if t.size = 0 then begin
+    t.cur_k <- 0.;
+    t.cur_idx <- 0
+  end
+  else begin
+    t.cur_k <- vbucket t !min_t;
+    t.cur_idx <- idx_of_vbucket t t.cur_k
+  end
+
+let push t ~time x =
+  if not (Float.is_finite time) then
+    invalid_arg "Calendar_queue.push: non-finite time";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let k = vbucket t time in
+  bucket_insert t.buckets.(idx_of_vbucket t k) ~time ~seq (Some x);
+  (* An event before the scan cursor (or the very first event) re-anchors
+     the scan, otherwise the year sweep would walk right past it. *)
+  if t.size = 0 || k < t.cur_k then begin
+    t.cur_k <- k;
+    t.cur_idx <- idx_of_vbucket t k
+  end;
+  t.size <- t.size + 1;
+  if t.size > 2 * Array.length t.buckets then resize t (2 * Array.length t.buckets)
+
+(* Advance the cursor to the bucket holding the global minimum (which is
+   then that bucket's head). Scans at most one full revolution of days;
+   if a whole year is empty (events far in the future), falls back to a
+   direct search over the bucket heads and re-anchors the cursor there. *)
+let seek_min t =
+  let n = Array.length t.buckets in
+  let found = ref false in
+  let scanned = ref 0 in
+  while (not !found) && !scanned < n do
+    let b = t.buckets.(t.cur_idx) in
+    if b.bcount > 0 && b.btimes.(0) < (t.cur_k +. 1.) *. t.width then found := true
+    else begin
+      t.cur_k <- t.cur_k +. 1.;
+      t.cur_idx <- (t.cur_idx + 1) land (n - 1);
+      incr scanned
+    end
+  done;
+  if not !found then begin
+    (* Direct search: every bucket is sorted, so its head is its minimum;
+       the global minimum is the least head by (time, seq). *)
+    let best = ref (-1) in
+    let best_time = ref Float.infinity and best_seq = ref max_int in
+    Array.iteri
+      (fun i b ->
+        if
+          b.bcount > 0
+          && (b.btimes.(0) < !best_time
+             || (Float.equal b.btimes.(0) !best_time && b.bseqs.(0) < !best_seq))
+        then begin
+          best := i;
+          best_time := b.btimes.(0);
+          best_seq := b.bseqs.(0)
+        end)
+      t.buckets;
+    t.cur_k <- vbucket t !best_time;
+    t.cur_idx <- !best
+  end
+[@@lint.allow
+  "unbounded-retry"
+    "the day scan is bounded by one revolution of the bucket array (the \
+     loop counter reaches nbuckets) and then falls through to a direct \
+     search; no budget can be threaded below the simulator's per-event \
+     granularity"]
+
+let pop_payload t =
+  if t.size = 0 then None
+  else begin
+    seek_min t;
+    let payload = bucket_pop_head t.buckets.(t.cur_idx) in
+    t.size <- t.size - 1;
+    let n = Array.length t.buckets in
+    if n > min_buckets && t.size < n / 2 then resize t (n / 2);
+    payload
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    seek_min t;
+    let time = t.buckets.(t.cur_idx).btimes.(0) in
+    match pop_payload t with
+    | Some x -> Some (time, x)
+    | None -> assert false (* counted slots are always populated *)
+  end
+
+let peek_time t =
+  if t.size = 0 then None
+  else begin
+    seek_min t;
+    Some t.buckets.(t.cur_idx).btimes.(0)
+  end
+
+let peek_time_exn t =
+  if t.size = 0 then invalid_arg "Calendar_queue.peek_time_exn: empty queue"
+  else begin
+    seek_min t;
+    t.buckets.(t.cur_idx).btimes.(0)
+  end
+
+let clear t =
+  t.buckets <- Array.init min_buckets (fun _ -> fresh_bucket ());
+  t.width <- 1.;
+  t.cur_k <- 0.;
+  t.cur_idx <- 0;
+  t.size <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,51 @@
+(** Calendar queue of timestamped items — same contract as {!Event_heap}.
+
+    A circular array of day buckets (Brown 1988): an event at time [t]
+    lives in bucket [floor (t / width) mod nbuckets]; [pop] scans the
+    calendar from the current day forward. The bucket count tracks the
+    queue size and the bucket width the mean event spacing, making push
+    and pop O(1) amortized where the binary heap pays a log factor.
+
+    The pop order is exactly the heap's [(time, seq)] total order —
+    earlier time first, insertion order breaking ties — so the two
+    structures are interchangeable behind {!Engine}. [push] rejects
+    non-finite timestamps, resizing is a deterministic function of the
+    queue contents, and vacated payload slots are nulled with the same
+    retention guarantees as {!Event_heap}. *)
+
+type 'a t
+(** Mutable calendar queue of items of type ['a]. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val size : 'a t -> int
+(** Number of items currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [size t = 0]. *)
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push t ~time x] inserts [x] with the given timestamp.
+    @raise Invalid_argument if [time] is not finite. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest item, or [None] when empty. The
+    vacated slot is nulled so the popped payload is released
+    immediately. *)
+
+val pop_payload : 'a t -> 'a option
+(** Allocation-free variant of {!pop}: removes the earliest item and
+    returns the payload cell as stored. Read the timestamp first with
+    {!peek_time_exn} if it is needed. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest item without removing it. *)
+
+val peek_time_exn : 'a t -> float
+(** Unboxed {!peek_time}.
+    @raise Invalid_argument when the queue is empty. *)
+
+val clear : 'a t -> unit
+(** Remove everything, releasing every payload and resetting the
+    calendar to its initial geometry. *)

@@ -1,54 +1,100 @@
+(* The clock lives in a one-element [float array] rather than a mutable
+   float field: in a mixed record a mutable float is boxed, so every
+   [t.now <- time] on the old layout allocated. A float array stores the
+   value flat, making the per-event clock update a plain store.
+
+   [step] dispatches without allocating: the timestamp is read unboxed
+   via [peek_time_exn] and the payload comes back as the queue's stored
+   [Some] cell via [pop_payload] — no [(time, event)] tuple per event. *)
+
+type queue_kind = Heap | Calendar
+
 type t = {
-  heap : event Event_heap.t;
-  mutable now : float;
+  queue : queue;
+  now : float array;  (* one element; see above *)
   mutable executed : int;
   mutable observer : (t -> unit) option;
 }
+
+and queue =
+  | Q_heap of event Event_heap.t
+  | Q_calendar of event Calendar_queue.t
 
 and event = { action : t -> unit; mutable cancelled : bool }
 
 type handle = event
 
-let create () = { heap = Event_heap.create (); now = 0.; executed = 0; observer = None }
+let create ?(queue = Heap) () =
+  let queue =
+    match queue with
+    | Heap -> Q_heap (Event_heap.create ())
+    | Calendar -> Q_calendar (Calendar_queue.create ())
+  in
+  { queue; now = [| 0. |]; executed = 0; observer = None }
+
+let q_size = function
+  | Q_heap h -> Event_heap.size h
+  | Q_calendar c -> Calendar_queue.size c
+
+let q_push q ~time ev =
+  match q with
+  | Q_heap h -> Event_heap.push h ~time ev
+  | Q_calendar c -> Calendar_queue.push c ~time ev
+
+let q_pop_payload = function
+  | Q_heap h -> Event_heap.pop_payload h
+  | Q_calendar c -> Calendar_queue.pop_payload c
+
+let q_peek_time = function
+  | Q_heap h -> Event_heap.peek_time h
+  | Q_calendar c -> Calendar_queue.peek_time c
+
+let q_peek_time_exn = function
+  | Q_heap h -> Event_heap.peek_time_exn h
+  | Q_calendar c -> Calendar_queue.peek_time_exn c
 
 let set_observer t f = t.observer <- Some f
 
 let clear_observer t = t.observer <- None
 
-let now t = t.now
+let now t = t.now.(0)
 
 let events_processed t = t.executed
 
-let pending t = Event_heap.size t.heap
+let pending t = q_size t.queue
 
 let schedule_at t ~time f =
   if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
-  if time < t.now then invalid_arg "Engine.schedule_at: scheduling into the past";
+  if time < t.now.(0) then invalid_arg "Engine.schedule_at: scheduling into the past";
   let ev = { action = f; cancelled = false } in
-  Event_heap.push t.heap ~time ev;
+  q_push t.queue ~time ev;
   ev
 
 let schedule t ~delay f =
   if not (Float.is_finite delay) || delay < 0. then
     invalid_arg "Engine.schedule: negative or non-finite delay";
-  schedule_at t ~time:(t.now +. delay) f
+  schedule_at t ~time:(t.now.(0) +. delay) f
 
 let cancel ev = ev.cancelled <- true
 
 let is_cancelled ev = ev.cancelled
 
 let rec step t =
-  match Event_heap.pop t.heap with
-  | None -> false
-  | Some (time, ev) ->
-    if ev.cancelled then step t
-    else begin
-      t.now <- time;
-      t.executed <- t.executed + 1;
-      ev.action t;
-      (match t.observer with None -> () | Some f -> f t);
-      true
-    end
+  if q_size t.queue = 0 then false
+  else begin
+    let time = q_peek_time_exn t.queue in
+    match q_pop_payload t.queue with
+    | None -> false
+    | Some ev ->
+      if ev.cancelled then step t
+      else begin
+        t.now.(0) <- time;
+        t.executed <- t.executed + 1;
+        ev.action t;
+        (match t.observer with None -> () | Some f -> f t);
+        true
+      end
+  end
 
 let run ?until ?max_events t =
   let budget_left () =
@@ -58,7 +104,7 @@ let run ?until ?max_events t =
     match until with
     | None -> true
     | Some horizon -> (
-      match Event_heap.peek_time t.heap with
+      match q_peek_time t.queue with
       | None -> false
       | Some next -> next <= horizon)
   in
@@ -70,5 +116,5 @@ let run ?until ?max_events t =
     else continue := false
   done;
   match until with
-  | Some horizon when t.now < horizon && budget_left () -> t.now <- horizon
+  | Some horizon when t.now.(0) < horizon && budget_left () -> t.now.(0) <- horizon
   | Some _ | None -> ()

@@ -1,59 +1,85 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Struct-of-arrays binary min-heap: timestamps and sequence numbers live
+   in flat unboxed arrays ([float array] / [int array]), payloads in a
+   parallel ['a option array]. Sift compares never chase a pointer and
+   neither [push] nor [pop_payload] allocates beyond the payload's own
+   [Some] cell (which is handed back verbatim by [pop_payload]).
 
-(* Slots above [size] are [None]: a popped entry must not linger in the
-   backing array, because event payloads are closures over node state and
-   long simulations would otherwise retain one dead closure per pop (the
-   vacated slot aliases live entries only transitively, so the leak shows
-   up as popped-but-reachable payloads, not as a monotonic counter). *)
+   Slots at or above [size] hold [None]: a popped entry must not linger in
+   the backing array, because event payloads are closures over node state
+   and long simulations would otherwise retain one dead closure per pop
+   (the vacated slot aliases live entries only transitively, so the leak
+   shows up as popped-but-reachable payloads, not as a monotonic
+   counter). *)
 type 'a t = {
-  mutable data : 'a entry option array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable data : 'a option array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+(* Capacity kept through a drain: ping-pong workloads pop the heap to
+   empty once per event, and re-allocating a fresh backing array per pop
+   costs more than the handful of nulled slots retained here. Above this
+   the arrays are dropped so a burst does not pin its high-water mark. *)
+let retained_capacity = 64
+
+let create () = { times = [||]; seqs = [||]; data = [||]; size = 0; next_seq = 0 }
 
 let size t = t.size
 
 let is_empty t = t.size = 0
 
 (* Entry ordering: earlier time first; insertion order breaks ties. Spelled
-   as an explicit monomorphic comparator — Float.compare then Int.compare —
-   so the total order (including NaN placement, which push rejects anyway)
-   is defined by this line and not by the polymorphic compare runtime. *)
-let compare_entry a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+   as an explicit monomorphic comparison — Float time then int seq — so
+   the total order (including NaN placement, which push rejects anyway)
+   is defined here and not by the polymorphic compare runtime. Sequence
+   numbers are unique, so the order is total and strict. *)
+let before t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  if ti < tj then true
+  else if ti > tj then false
+  else t.seqs.(i) < t.seqs.(j)
 
-let before a b = compare_entry a b < 0
-
-let get t i =
-  match t.data.(i) with
-  | Some e -> e
-  | None -> assert false (* slots below [size] are always populated *)
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let d = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- d
 
 let grow t =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  let fresh = Array.make new_cap None in
-  Array.blit t.data 0 fresh 0 t.size;
-  t.data <- fresh
+  let times = Array.make new_cap 0. in
+  let seqs = Array.make new_cap 0 in
+  let data = Array.make new_cap None in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.data 0 data 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.data <- data
 
 let push t ~time x =
   if not (Float.is_finite time) then invalid_arg "Event_heap.push: non-finite time";
-  let entry = { time; seq = t.next_seq; payload = x } in
-  t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.data then grow t;
-  (* Sift up. *)
   let i = ref t.size in
   t.size <- t.size + 1;
-  t.data.(!i) <- Some entry;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- t.next_seq;
+  t.data.(!i) <- Some x;
+  t.next_seq <- t.next_seq + 1;
+  (* Sift up. *)
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before entry (get t parent) then begin
-      t.data.(!i) <- t.data.(parent);
-      t.data.(parent) <- Some entry;
+    if before t !i parent then begin
+      swap t !i parent;
       i := parent
     end
     else continue := false
@@ -64,38 +90,49 @@ let push t ~time x =
      iteration, so it is bounded by the heap depth (log of size); no budget \
      can be threaded below the simulator's per-event granularity"]
 
-let pop t =
+(* Remove the root, restore the heap, and hand back the root's payload
+   cell as stored — the caller receives the existing [Some] block, so the
+   dispatch path allocates nothing. *)
+let pop_payload t =
   if t.size = 0 then None
   else begin
-    let top = get t 0 in
+    let top = t.data.(0) in
     t.size <- t.size - 1;
-    if t.size = 0 then
-      (* Heap drained: drop the whole backing array. *)
-      t.data <- [||]
+    if t.size = 0 then begin
+      (* Heap drained: null the vacated root but keep a small backing
+         array so drain-per-event workloads do not re-allocate on every
+         push; anything larger is dropped wholesale. *)
+      if Array.length t.data > retained_capacity then begin
+        t.times <- [||];
+        t.seqs <- [||];
+        t.data <- [||]
+      end
+      else t.data.(0) <- None
+    end
     else begin
-      let last = get t t.size in
-      t.data.(0) <- Some last;
+      let last = t.size in
+      t.times.(0) <- t.times.(last);
+      t.seqs.(0) <- t.seqs.(last);
+      t.data.(0) <- t.data.(last);
       (* Null the vacated slot so the entry moved to the root is the only
          reference the array keeps. *)
-      t.data.(t.size) <- None;
+      t.data.(last) <- None;
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.size && before (get t l) (get t !smallest) then smallest := l;
-        if r < t.size && before (get t r) (get t !smallest) then smallest := r;
+        if l < t.size && before t l !smallest then smallest := l;
+        if r < t.size && before t r !smallest then smallest := r;
         if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
+          swap t !i !smallest;
           i := !smallest
         end
         else continue := false
       done
     end;
-    Some (top.time, top.payload)
+    top
   end
 [@@lint.allow
   "unbounded-retry"
@@ -103,9 +140,29 @@ let pop t =
      doubles each iteration), so it is bounded by the heap depth; no budget \
      can be threaded below the simulator's per-event granularity"]
 
-let peek_time t = if t.size = 0 then None else Some (get t 0).time
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let time = t.times.(0) in
+    match pop_payload t with
+    | Some x -> Some (time, x)
+    | None -> assert false (* slots below [size] are always populated *)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+
+let peek_time_exn t =
+  if t.size = 0 then invalid_arg "Event_heap.peek_time_exn: empty heap"
+  else t.times.(0)
 
 let clear t =
+  (* Null every live payload slot (releasing the closures) but keep small
+     arrays, mirroring the drain policy above. *)
+  if Array.length t.data > retained_capacity then begin
+    t.times <- [||];
+    t.seqs <- [||];
+    t.data <- [||]
+  end
+  else Array.fill t.data 0 t.size None;
   t.size <- 0;
-  t.next_seq <- 0;
-  t.data <- [||]
+  t.next_seq <- 0

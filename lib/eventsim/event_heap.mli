@@ -6,10 +6,15 @@
     must be a pure function of its seed, and the paper's constant-service
     configurations produce many simultaneous events.
 
-    The entry order is the explicit monomorphic comparator
-    [Float.compare time, then Int.compare seq] — a total order defined in
-    one place, with no dependence on the polymorphic compare runtime.
-    [push] rejects non-finite timestamps, so NaN never enters the order. *)
+    The entry order is the explicit monomorphic comparison
+    [time ascending, then seq ascending] — a total order defined in one
+    place, with no dependence on the polymorphic compare runtime. [push]
+    rejects non-finite timestamps, so NaN never enters the order.
+
+    Internally the heap is struct-of-arrays: timestamps and sequence
+    numbers live in flat unboxed arrays, so sift comparisons touch no
+    heap blocks, and {!pop_payload} returns the stored payload cell
+    without allocating. *)
 
 type 'a t
 (** Mutable heap of items of type ['a]. *)
@@ -29,13 +34,27 @@ val push : 'a t -> time:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest item, or [None] when empty. The vacated
-    slot is nulled (and the backing array dropped once the heap drains), so
-    a popped payload — typically a closure over node state — is released
-    immediately rather than retained until the slot is overwritten. *)
+    slot is nulled, so a popped payload — typically a closure over node
+    state — is released immediately rather than retained until the slot is
+    overwritten. A drain keeps a small backing array (repeatedly popping
+    to empty must not re-allocate per cycle) but drops anything larger, so
+    a burst does not pin its high-water mark. *)
+
+val pop_payload : 'a t -> 'a option
+(** Allocation-free variant of {!pop} for the dispatch hot path: removes
+    the earliest item and returns the payload cell as stored, without
+    building a tuple or boxing the timestamp. Read the timestamp first
+    with {!peek_time_exn} if it is needed. Same slot-nulling guarantees
+    as {!pop}. *)
 
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest item without removing it. *)
 
+val peek_time_exn : 'a t -> float
+(** Unboxed {!peek_time} for the dispatch hot path.
+    @raise Invalid_argument when the heap is empty. *)
+
 val clear : 'a t -> unit
-(** Remove everything and drop the backing array (releasing every payload,
-    not just resetting the size). *)
+(** Remove everything, nulling every payload slot (releasing every
+    payload, not just resetting the size); large backing arrays are
+    dropped, small ones retained like after a drain. *)

@@ -14,10 +14,12 @@ type status =
   | Exhausted of { reason : Lopc_robust.Budget.stop_reason }
   | Too_large of { max_states : int }
 
+type iteration = Auto | Power | Power_aitken | Gauss_seidel
+
 let status_to_string = function
   | Converged { iters } -> Printf.sprintf "converged in %d iterations" iters
   | Not_converged { iters; diff } ->
-    Printf.sprintf "not converged after %d iterations (l1 diff %g)" iters diff
+    Printf.sprintf "not converged after %d iterations (l1 residual %g)" iters diff
   | Exhausted { reason } -> Lopc_robust.Budget.reason_to_string reason
   | Too_large { max_states } ->
     Printf.sprintf "state space exceeds %d states" max_states
@@ -27,8 +29,116 @@ let status_to_string = function
    ever see the [Exhausted] status. *)
 exception Budget_stop of Lopc_robust.Budget.stop_reason
 
-let solve_status ?budget ?(max_states = 2_000_000) ?(tol = 1e-12)
-    ?(max_iter = 200_000) ~initial ~transitions () =
+(* The reachable generator in compressed sparse row form. Row [i] holds the
+   off-diagonal outgoing transitions of state [i], in the exact order the
+   caller's [transitions] function produced them (duplicate destinations
+   stay separate entries, so float accumulation order — and hence the
+   result — matches the historical list-of-rows representation
+   bit-for-bit). Rows are laid out in discovery order: exploration is a
+   plain BFS in which every state is queued exactly once, so states are
+   popped — and their rows appended — in id order, which is what lets the
+   matrix be built in one pass with no intermediate per-row lists. *)
+type csr = {
+  n : int;
+  row_ptr : int array;        (* length n + 1 *)
+  col : int array;            (* length nnz: destination ids *)
+  rate : float array;         (* length nnz: transition rates *)
+  out_rate : float array;     (* length n: total exit rate per state *)
+}
+
+(* Column-major twin of the CSR matrix: incoming transitions per state,
+   sources in ascending id order. Only built for Gauss–Seidel sweeps. *)
+type csc = {
+  col_ptr : int array;        (* length n + 1 *)
+  src : int array;            (* length nnz: source ids *)
+  in_rate : float array;      (* length nnz *)
+}
+
+let csc_of_csr (m : csr) =
+  let nnz = m.row_ptr.(m.n) in
+  let counts = Array.make (m.n + 1) 0 in
+  for k = 0 to nnz - 1 do
+    let j = m.col.(k) in
+    counts.(j + 1) <- counts.(j + 1) + 1
+  done;
+  for j = 1 to m.n do
+    counts.(j) <- counts.(j) + counts.(j - 1)
+  done;
+  let col_ptr = Array.copy counts in
+  let src = Array.make nnz 0 in
+  let in_rate = Array.make nnz 0. in
+  let fill = Array.copy counts in
+  for i = 0 to m.n - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j = m.col.(k) in
+      let pos = fill.(j) in
+      fill.(j) <- pos + 1;
+      src.(pos) <- i;
+      in_rate.(pos) <- m.rate.(k)
+    done
+  done;
+  { col_ptr; src; in_rate }
+
+(* Strong connectivity of the reachable chain: forward cover from state 0
+   (free — exploration guarantees it) plus backward cover over the
+   transposed matrix. A strongly connected chain has a unique stationary
+   distribution, which is what licenses Gauss–Seidel; anything else
+   (absorbing states, several recurrent classes) keeps the historical
+   power-iteration limit. *)
+let strongly_connected (m : csr) (c : csc) =
+  if m.n = 0 then true
+  else begin
+    let seen = Bytes.make m.n '\000' in
+    Bytes.set seen 0 '\001';
+    let stack = ref [ 0 ] in
+    let covered = ref 1 in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | j :: rest ->
+        stack := rest;
+        for k = c.col_ptr.(j) to c.col_ptr.(j + 1) - 1 do
+          let i = c.src.(k) in
+          if Bytes.get seen i = '\000' then begin
+            Bytes.set seen i '\001';
+            incr covered;
+            stack := i :: !stack
+          end
+        done
+    done;
+    !covered = m.n
+  end
+[@@lint.allow
+  "unbounded-retry"
+    "the worklist loop visits each of the n states at most once (guarded by \
+     the [seen] byte set), so it is bounded by the already-capped state count; \
+     the caller's budget was consulted once per state during exploration"]
+
+(* One l1 residual of the balance equations, scaled like a uniformized
+   power step: ||pi Q||_1 / lambda = sum_j |sum_i pi_i q_ij - pi_j q_j| / lambda.
+   This is exactly the successive-iterate l1 step a power sweep would take
+   from [pi], so the convergence threshold means the same thing for every
+   method. *)
+let residual (m : csr) (c : csc) ~lambda pi =
+  let acc = ref 0. in
+  for j = 0 to m.n - 1 do
+    let inflow = ref 0. in
+    for k = c.col_ptr.(j) to c.col_ptr.(j + 1) - 1 do
+      inflow := !inflow +. (pi.(c.src.(k)) *. c.in_rate.(k))
+    done;
+    acc := !acc +. Float.abs (!inflow -. (pi.(j) *. m.out_rate.(j)))
+  done;
+  !acc /. lambda
+
+let normalize pi =
+  let s = Array.fold_left ( +. ) 0. pi in
+  if s > 0. && Float.is_finite s then
+    for i = 0 to Array.length pi - 1 do
+      pi.(i) <- pi.(i) /. s
+    done
+
+let solve_status ?budget ?(iteration = Auto) ?(max_states = 2_000_000)
+    ?(tol = 1e-12) ?(max_iter = 200_000) ~initial ~transitions () =
   try
     (* [check_budget] lives inside the [try] so its raise is lexically
        within the handler below (the exn-escape rule reasons lexically). *)
@@ -41,106 +151,237 @@ let solve_status ?budget ?(max_states = 2_000_000) ?(tol = 1e-12)
         | Some reason -> raise (Budget_stop reason))
     in
     (* Phase 1: explore the reachable state space (one unit of fuel per
-       popped frontier state). *)
-  let index : ('state, int) Hashtbl.t = Hashtbl.create 4096 in
-  let states = ref [] in
-  let count = ref 0 in
-  let id_of s =
-    match Hashtbl.find_opt index s with
-    | Some i -> i
-    | None ->
-      if !count >= max_states then raise (State_space_too_large max_states);
-      let i = !count in
-      Hashtbl.add index s i;
-      states := s :: !states;
-      incr count;
-      i
-  in
-  ignore (id_of initial);
-  (* Rows of the generator, built as we pop a worklist. *)
-  let rows : (int * float) list array ref = ref (Array.make 64 []) in
-  let ensure i =
-    if i >= Array.length !rows then begin
-      let fresh = Array.make (max (2 * Array.length !rows) (i + 1)) [] in
-      Array.blit !rows 0 fresh 0 (Array.length !rows);
-      rows := fresh
-    end
-  in
-  let frontier = Queue.create () in
-  Queue.push initial frontier;
-  let explored = ref 0 in
-  while not (Queue.is_empty frontier) do
-    check_budget ();
-    match Queue.take_opt frontier with
-    | None -> ()
-    | Some s ->
-      let i = id_of s in
-      ensure i;
-      if (match (!rows).(i) with [] -> true | _ :: _ -> false) then begin
-        incr explored;
-        let out =
-          List.filter_map
-            (fun (s', rate) ->
-              if rate < 0. || not (Float.is_finite rate) then
-                invalid_arg "Ctmc.solve: non-positive or non-finite rate";
-              if Float.equal rate 0. then None
-              else begin
-                let before = !count in
-                let j = id_of s' in
-                if !count > before then Queue.push s' frontier;
-                (* Self-loops compare by id (int), not by polymorphic
-                   equality on the caller's state type. *)
-                if j = i then None else Some (j, rate)
-              end)
-            (transitions s)
-        in
-        (* Mark visited even for absorbing states. *)
-        (!rows).(i) <- (match out with [] -> [ (i, 0.) ] | _ :: _ -> out)
-      end
-  done;
-  let n = !count in
-  let rows = Array.sub !rows 0 n in
-  (* Phase 2: uniformize and power-iterate pi <- pi P. *)
-  let out_rate = Array.map (fun row -> List.fold_left (fun a (_, r) -> a +. r) 0. row) rows in
-  let lambda = 1.01 *. Array.fold_left Float.max 1e-12 out_rate in
-  let pi = Array.make n (1. /. Float.of_int n) in
-  let next = Array.make n 0. in
-  let converged = ref false in
-  let iter = ref 0 in
-  let last_diff = ref Float.infinity in
-  (* One unit of fuel per power iteration. *)
-  while (not !converged) && !iter < max_iter do
-    check_budget ();
-    incr iter;
-    Array.fill next 0 n 0.;
-    for i = 0 to n - 1 do
-      let stay = pi.(i) *. (1. -. (out_rate.(i) /. lambda)) in
-      next.(i) <- next.(i) +. stay;
-      List.iter
-        (fun (j, rate) -> next.(j) <- next.(j) +. (pi.(i) *. rate /. lambda))
-        rows.(i)
+       popped frontier state) and append each popped state's row straight
+       into the CSR arrays. BFS discipline makes the two coincide: a state
+       is pushed exactly once, at discovery, so pop order equals id order
+       and row [i] is complete before row [i + 1] begins. *)
+    let index : ('state, int) Hashtbl.t = Hashtbl.create 4096 in
+    let state_of_id = ref (Array.make 64 initial) in
+    let count = ref 0 in
+    let id_of s =
+      match Hashtbl.find_opt index s with
+      | Some i -> i
+      | None ->
+        if !count >= max_states then raise (State_space_too_large max_states);
+        let i = !count in
+        Hashtbl.add index s i;
+        if i >= Array.length !state_of_id then begin
+          let fresh = Array.make (2 * Array.length !state_of_id) s in
+          Array.blit !state_of_id 0 fresh 0 (Array.length !state_of_id);
+          state_of_id := fresh
+        end;
+        (!state_of_id).(i) <- s;
+        incr count;
+        i
+    in
+    ignore (id_of initial);
+    let row_ptr = ref (Array.make 65 0) in
+    let col = ref (Array.make 256 0) in
+    let rate = ref (Array.make 256 0.) in
+    let nnz = ref 0 in
+    let push_entry j r =
+      if !nnz >= Array.length !col then begin
+        let cap = 2 * Array.length !col in
+        let col' = Array.make cap 0 and rate' = Array.make cap 0. in
+        Array.blit !col 0 col' 0 !nnz;
+        Array.blit !rate 0 rate' 0 !nnz;
+        col := col';
+        rate := rate'
+      end;
+      (!col).(!nnz) <- j;
+      (!rate).(!nnz) <- r;
+      incr nnz
+    in
+    let frontier = Queue.create () in
+    Queue.push initial frontier;
+    let filled = ref 0 in
+    while not (Queue.is_empty frontier) do
+      check_budget ();
+      match Queue.take_opt frontier with
+      | None -> ()
+      | Some s ->
+        let i = !filled in
+        incr filled;
+        (* BFS invariant: the i-th pop is the state discovered i-th. *)
+        assert (i = (match Hashtbl.find_opt index s with Some v -> v | None -> -1));
+        if i + 1 >= Array.length !row_ptr then begin
+          let fresh = Array.make (2 * Array.length !row_ptr) 0 in
+          Array.blit !row_ptr 0 fresh 0 (Array.length !row_ptr);
+          row_ptr := fresh
+        end;
+        List.iter
+          (fun (s', r) ->
+            if r < 0. || not (Float.is_finite r) then
+              invalid_arg "Ctmc.solve: non-positive or non-finite rate";
+            if not (Float.equal r 0.) then begin
+              let before = !count in
+              let j = id_of s' in
+              if !count > before then Queue.push s' frontier;
+              (* Self-loops compare by id (int), not by polymorphic
+                 equality on the caller's state type. *)
+              if j <> i then push_entry j r
+            end)
+          (transitions s);
+        (!row_ptr).(i + 1) <- !nnz
     done;
-    let diff = ref 0. in
-    for i = 0 to n - 1 do
-      diff := !diff +. Float.abs (next.(i) -. pi.(i));
-      pi.(i) <- next.(i)
-    done;
-    last_diff := !diff;
-    if !diff <= tol then converged := true
-  done;
-  let state_of_id = Array.make n initial in
-  List.iteri (fun k s -> state_of_id.(n - 1 - k) <- s) !states;
-  let sol = { index; state_of_id; pi } in
-  if !converged then (Some sol, Converged { iters = !iter })
-  else (Some sol, Not_converged { iters = !iter; diff = !last_diff })
+    let n = !count in
+    let m =
+      {
+        n;
+        row_ptr = Array.sub !row_ptr 0 (n + 1);
+        col = Array.sub !col 0 !nnz;
+        rate = Array.sub !rate 0 !nnz;
+        out_rate =
+          Array.init n (fun i ->
+              let acc = ref 0. in
+              for k = (!row_ptr).(i) to (!row_ptr).(i + 1) - 1 do
+                acc := !acc +. (!rate).(k)
+              done;
+              !acc);
+      }
+    in
+    let state_of_id = Array.sub !state_of_id 0 n in
+    (* Phase 2: pick a sweep and iterate to the stationary distribution.
+       One unit of fuel per sweep, whatever the method. *)
+    let lambda = 1.01 *. Array.fold_left Float.max 1e-12 m.out_rate in
+    let c = csc_of_csr m in
+    let method_ =
+      match iteration with
+      | Auto -> if strongly_connected m c then Gauss_seidel else Power
+      | (Power | Power_aitken | Gauss_seidel) as it -> it
+    in
+    let pi = Array.make n (1. /. Float.of_int n) in
+    let iter = ref 0 in
+    let last_diff = ref Float.infinity in
+    let converged = ref false in
+    (match method_ with
+    | Auto -> assert false
+    | Power | Power_aitken ->
+      (* Uniformized power iteration pi <- pi P, P = I + Q / lambda, on the
+         CSR rows. [diff] doubles as the l1 residual of the pre-sweep
+         iterate (next - pi = pi (P - I) = pi Q / lambda), so convergence
+         is residual-based; each accepted iterate is renormalized so float
+         drift cannot accumulate over long runs (historically [sum pi]
+         drifted freely and convergence was declared on the raw step). *)
+      let next = Array.make n 0. in
+      let prev = if method_ = Power_aitken then Array.make n 0. else [||] in
+      let prev2 = if method_ = Power_aitken then Array.make n 0. else [||] in
+      while (not !converged) && !iter < max_iter do
+        check_budget ();
+        incr iter;
+        Array.fill next 0 n 0.;
+        for i = 0 to n - 1 do
+          let stay = pi.(i) *. (1. -. (m.out_rate.(i) /. lambda)) in
+          next.(i) <- next.(i) +. stay;
+          for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+            let j = m.col.(k) in
+            next.(j) <- next.(j) +. (pi.(i) *. m.rate.(k) /. lambda)
+          done
+        done;
+        let diff = ref 0. in
+        for i = 0 to n - 1 do
+          diff := !diff +. Float.abs (next.(i) -. pi.(i))
+        done;
+        if method_ = Power_aitken then begin
+          Array.blit prev 0 prev2 0 n;
+          Array.blit pi 0 prev 0 n
+        end;
+        Array.blit next 0 pi 0 n;
+        normalize pi;
+        last_diff := !diff;
+        if !diff <= tol then converged := true
+        else if
+          method_ = Power_aitken && !iter >= 3 && !iter mod 8 = 0
+        then begin
+          (* Aitken delta-squared extrapolation on the last three iterates;
+             the guarded denominator skips components that already
+             converged. Negative extrapolants are clamped — the result is
+             only a better starting point, never the reported answer (the
+             residual test above still gates convergence). *)
+          for i = 0 to n - 1 do
+            let d2 = pi.(i) -. (2. *. prev.(i)) +. prev2.(i) in
+            if Float.abs d2 > 1e-300 then begin
+              let step = pi.(i) -. prev.(i) in
+              let x =
+                (pi.(i) -. (step *. step /. d2)
+                [@lint.allow
+                  "division-by-vanishing"
+                    "the enclosing branch holds only when |d2| > 1e-300, so the \
+                     denominator is bounded away from 0; a non-finite quotient is \
+                     additionally rejected by the Float.is_finite guard below"])
+              in
+              if x > 0. && Float.is_finite x then pi.(i) <- x
+            end
+          done;
+          normalize pi
+        end
+      done
+    | Gauss_seidel ->
+      (* Balance-equation Gauss–Seidel on the transposed (incoming) matrix:
+         pi_j <- (sum_{i<>j} pi_i q_ij) / q_j, sweeping states in id order
+         and consuming updated values immediately. Only selected when the
+         chain is strongly connected, so every q_j is strictly positive and
+         the fixed point is the unique stationary distribution — the same
+         limit power iteration reaches, in far fewer sweeps on the stiff
+         chains the exact LoPC machine produces. Each sweep renormalizes
+         and convergence is the same scaled residual as the power path. *)
+      while (not !converged) && !iter < max_iter do
+        check_budget ();
+        incr iter;
+        for j = 0 to n - 1 do
+          let q_j = m.out_rate.(j) in
+          if q_j > 0. then begin
+            let inflow = ref 0. in
+            for k = c.col_ptr.(j) to c.col_ptr.(j + 1) - 1 do
+              inflow := !inflow +. (pi.(c.src.(k)) *. c.in_rate.(k))
+            done;
+            pi.(j) <- !inflow /. q_j
+          end
+        done;
+        normalize pi;
+        let r = residual m c ~lambda pi in
+        last_diff := r;
+        if r <= tol then converged := true
+        else if not (Float.is_finite r) then begin
+          (* Defensive: a sweep went non-finite (pathological rate
+             spread). Restart on the unconditionally safe power path,
+             keeping the fuel and iteration budgets already spent. *)
+          Array.fill pi 0 n (1. /. Float.of_int n);
+          let next = Array.make n 0. in
+          while (not !converged) && !iter < max_iter do
+            check_budget ();
+            incr iter;
+            Array.fill next 0 n 0.;
+            for i = 0 to n - 1 do
+              let stay = pi.(i) *. (1. -. (m.out_rate.(i) /. lambda)) in
+              next.(i) <- next.(i) +. stay;
+              for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+                let j = m.col.(k) in
+                next.(j) <- next.(j) +. (pi.(i) *. m.rate.(k) /. lambda)
+              done
+            done;
+            let diff = ref 0. in
+            for i = 0 to n - 1 do
+              diff := !diff +. Float.abs (next.(i) -. pi.(i))
+            done;
+            Array.blit next 0 pi 0 n;
+            normalize pi;
+            last_diff := !diff;
+            if !diff <= tol then converged := true
+          done
+        end
+      done);
+    let sol = { index; state_of_id; pi } in
+    if !converged then (Some sol, Converged { iters = !iter })
+    else (Some sol, Not_converged { iters = !iter; diff = !last_diff })
   with
   | Budget_stop reason -> (None, Exhausted { reason })
   | State_space_too_large max_states -> (None, Too_large { max_states })
 
 (* Legacy entry point: raises on overflow, silently returns the last
    iterate past [max_iter] — exactly the old contract. *)
-let solve ?max_states ?tol ?max_iter ~initial ~transitions () =
-  match solve_status ?max_states ?tol ?max_iter ~initial ~transitions () with
+let solve ?iteration ?max_states ?tol ?max_iter ~initial ~transitions () =
+  match solve_status ?iteration ?max_states ?tol ?max_iter ~initial ~transitions () with
   | Some sol, _ -> sol
   | None, Too_large { max_states } -> raise (State_space_too_large max_states)
   | None, _ ->
@@ -152,6 +393,8 @@ let states t = Array.length t.pi
 
 let probability t s =
   match Hashtbl.find_opt t.index s with Some i -> t.pi.(i) | None -> 0.
+
+let sum_pi t = Array.fold_left ( +. ) 0. t.pi
 
 (* Both aggregations iterate [state_of_id] (discovery order) rather than the
    hash table, so float accumulation order — and hence the exact result — is

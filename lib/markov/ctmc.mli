@@ -1,14 +1,34 @@
 (** Generic continuous-time Markov chain steady-state solver.
 
     Given an initial state and a transition function, the solver explores
-    the reachable state space, builds the sparse generator, and computes
-    the stationary distribution by power iteration on the uniformized
-    chain. Used to validate the simulator and to measure the LoPC
+    the reachable state space, builds the generator as a compressed
+    sparse-row matrix in the same single pass, and computes the stationary
+    distribution by Gauss–Seidel sweeps on the balance equations (falling
+    back to uniformized power iteration when the chain is not strongly
+    connected). Used to validate the simulator and to measure the LoPC
     approximations exactly (no Monte-Carlo noise) on machines small
     enough to enumerate. *)
 
 type 'state solution
 (** Stationary distribution over the reachable states. *)
+
+type iteration =
+  | Auto
+      (** Gauss–Seidel when the reachable chain is strongly connected
+          (unique stationary distribution), power iteration otherwise.
+          The default. *)
+  | Power
+      (** Uniformized power iteration [pi <- pi (I + Q/lambda)] — the
+          historical method, kept as the unconditionally safe reference. *)
+  | Power_aitken
+      (** Power iteration with periodic componentwise Aitken delta-squared
+          extrapolation; convergence is still gated by the residual, the
+          extrapolant only re-seeds the iterate. *)
+  | Gauss_seidel
+      (** Balance-equation Gauss–Seidel on the incoming-transition matrix.
+          Far fewer sweeps than [Power] on stiff chains; requires every
+          state to have an exit (it falls back to the power path mid-solve
+          if a sweep goes non-finite). *)
 
 exception State_space_too_large of int
 (** Raised (by {!solve} only) when exploration exceeds the state budget. *)
@@ -18,7 +38,8 @@ type status =
       (** Power iteration met its tolerance after [iters] sweeps. *)
   | Not_converged of { iters : int; diff : float }
       (** [max_iter] sweeps without meeting the tolerance; [diff] is the
-          last L1 step. The returned distribution is the last iterate. *)
+          last scaled L1 residual [||pi Q||_1 / lambda]. The returned
+          distribution is the last iterate. *)
   | Exhausted of { reason : Lopc_robust.Budget.stop_reason }
       (** The budget stopped exploration or iteration; no solution. *)
   | Too_large of { max_states : int }
@@ -28,6 +49,7 @@ val status_to_string : status -> string
 
 val solve_status :
   ?budget:Lopc_robust.Budget.t ->
+  ?iteration:iteration ->
   ?max_states:int ->
   ?tol:float ->
   ?max_iter:int ->
@@ -36,13 +58,18 @@ val solve_status :
   unit ->
   'state solution option * status
 (** Non-raising variant of {!solve}: state-space overflow comes back as
-    [Too_large] instead of an exception, a non-converged power iteration
-    is reported (with its last L1 step) instead of silent, and [budget] —
-    consulted once per explored state and once per power-iteration sweep
-    — stops the computation with [Exhausted]. Only raises
-    [Invalid_argument] (on a non-finite or negative rate). *)
+    [Too_large] instead of an exception, a non-converged iteration is
+    reported (with its last scaled L1 residual) instead of silent, and
+    [budget] — consulted once per explored state and once per sweep,
+    whatever the [iteration] method — stops the computation with
+    [Exhausted]. Every method renormalizes the iterate each sweep, so
+    [sum pi = 1] holds to rounding error regardless of sweep count, and
+    declares convergence on the residual of the current iterate (never on
+    the raw successive step alone). Only raises [Invalid_argument] (on a
+    non-finite or negative rate). *)
 
 val solve :
+  ?iteration:iteration ->
   ?max_states:int ->
   ?tol:float ->
   ?max_iter:int ->
@@ -54,7 +81,8 @@ val solve :
     of the irreducible CTMC reachable from [initial]. [transitions s]
     lists [(successor, rate)] pairs with strictly positive rates
     (duplicate successors are summed; self-loops ignored). Defaults:
-    [max_states = 2_000_000], [tol = 1e-12], [max_iter = 200_000].
+    [iteration = Auto], [max_states = 2_000_000], [tol = 1e-12],
+    [max_iter = 200_000].
     States must be usable as [Hashtbl] keys (structural equality).
     @raise State_space_too_large when the budget is exceeded.
     @raise Invalid_argument on a non-positive rate. *)
@@ -64,6 +92,11 @@ val states : 'state solution -> int
 
 val probability : 'state solution -> 'state -> float
 (** Stationary probability of one state ([0.] if unreachable). *)
+
+val sum_pi : 'state solution -> float
+(** [Σ_s π(s)], summed in discovery order. Every solver sweep renormalizes,
+    so this is [1.] to rounding error — exposed so tests can pin the
+    invariant down instead of trusting it. *)
 
 val expectation : 'state solution -> f:('state -> float) -> float
 (** [expectation sol ~f] is [Σ_s π(s)·f(s)]. Summation runs over states in

@@ -1,22 +1,28 @@
+(* All-float record on purpose: OCaml stores a record whose fields are all
+   floats flat (no per-field box), so every [add] is five plain stores. A
+   mixed record (int count + float moments) boxes each float field and
+   every mutable store allocates — measurable on the simulator's per-event
+   accumulation path. The count therefore lives in a float; it is an exact
+   integer up to 2^53, far beyond any observation stream here. *)
 type t = {
-  mutable n : int;
+  mutable n : float;
   mutable mean : float;
   mutable m2 : float;
   mutable min : float;
   mutable max : float;
 }
 
-let create () = { n = 0; mean = 0.; m2 = 0.; min = Float.nan; max = Float.nan }
+let create () = { n = 0.; mean = 0.; m2 = 0.; min = Float.nan; max = Float.nan }
 
 let copy t = { t with n = t.n }
 
 let add t x =
   if not (Float.is_finite x) then invalid_arg "Welford.add: non-finite observation";
-  t.n <- t.n + 1;
+  t.n <- t.n +. 1.;
   let delta = x -. t.mean in
-  t.mean <- t.mean +. (delta /. Float.of_int t.n);
+  t.mean <- t.mean +. (delta /. t.n);
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-  if t.n = 1 then begin
+  if Float.equal t.n 1. then begin
     t.min <- x;
     t.max <- x
   end
@@ -25,13 +31,20 @@ let add t x =
     if x > t.max then t.max <- x
   end
 
-let count t = t.n
+let count t = Float.to_int t.n
 
-let mean t = if t.n = 0 then Float.nan else t.mean
+let mean t = if Float.equal t.n 0. then Float.nan else t.mean
 
-let variance t = if t.n < 2 then 0. else t.m2 /. Float.of_int (t.n - 1)
+let variance t =
+  if t.n < 2. then 0.
+  else
+    (t.m2 /. (t.n -. 1.)
+    [@lint.allow
+      "division-by-vanishing"
+        "the count is an exact float integer and this branch holds only for \
+         n >= 2, so the denominator is at least 1"])
 
-let population_variance t = if t.n = 0 then 0. else t.m2 /. Float.of_int t.n
+let population_variance t = if Float.equal t.n 0. then 0. else t.m2 /. t.n
 
 let stddev t = sqrt (variance t)
 
@@ -40,26 +53,23 @@ let stddev t = sqrt (variance t)
 let tiny_mean = Float.sqrt Float.min_float
 
 let scv t =
-  if t.n = 0 || Float.abs t.mean < tiny_mean then 0.
+  if Float.equal t.n 0. || Float.abs t.mean < tiny_mean then 0.
   else population_variance t /. (t.mean *. t.mean)
 
 let min t = t.min
 
 let max t = t.max
 
-let total t = t.mean *. Float.of_int t.n
+let total t = t.mean *. t.n
 
 let merge a b =
-  if a.n = 0 then copy b
-  else if b.n = 0 then copy a
+  if Float.equal a.n 0. then copy b
+  else if Float.equal b.n 0. then copy a
   else begin
-    let n = a.n + b.n in
+    let n = a.n +. b.n in
     let delta = b.mean -. a.mean in
-    let nf = Float.of_int n in
-    let mean = a.mean +. (delta *. Float.of_int b.n /. nf) in
-    let m2 =
-      a.m2 +. b.m2 +. (delta *. delta *. Float.of_int a.n *. Float.of_int b.n /. nf)
-    in
+    let mean = a.mean +. (delta *. b.n /. n) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. a.n *. b.n /. n) in
     {
       n;
       mean;
@@ -70,4 +80,4 @@ let merge a b =
   end
 
 let confidence_interval t =
-  if t.n < 2 then Float.nan else 1.96 *. stddev t /. sqrt (Float.of_int t.n)
+  if t.n < 2. then Float.nan else 1.96 *. stddev t /. sqrt t.n

@@ -226,6 +226,154 @@ let prop_heap_sorts =
       let popped = List.rev !out in
       popped = List.sort compare times)
 
+module Calendar = Lopc_eventsim.Calendar_queue
+
+(* Repeated drains (the push/pop-to-empty churn the retention policy is
+   for) must stay correct across recycled backing arrays, ties included. *)
+let test_heap_drain_churn () =
+  let h = Heap.create () in
+  for round = 0 to 99 do
+    for i = 0 to 31 do
+      Heap.push h ~time:(Float.of_int (i mod 4)) ((round * 32) + i)
+    done;
+    let popped = ref 0 in
+    let last_time = ref neg_infinity in
+    let last_id = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      match Heap.pop h with
+      | None -> continue := false
+      | Some (t, id) ->
+        incr popped;
+        if t < !last_time then Alcotest.fail "order violated across churn";
+        (* Equal times must come back in insertion order even after the
+           arrays have been dropped and re-grown between rounds. *)
+        if Float.equal t !last_time && id <= !last_id then
+          Alcotest.fail "tie order violated across churn";
+        last_time := t;
+        last_id := id
+    done;
+    Alcotest.(check int) "drained the round" 32 !popped
+  done;
+  Alcotest.(check bool) "empty after churn" true (Heap.is_empty h)
+
+let test_calendar_rejects_nonfinite () =
+  let c = Calendar.create () in
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Calendar_queue.push: non-finite time") (fun () ->
+      Calendar.push c ~time:Float.nan ());
+  Alcotest.check_raises "inf"
+    (Invalid_argument "Calendar_queue.push: non-finite time") (fun () ->
+      Calendar.push c ~time:Float.infinity ());
+  Alcotest.(check bool) "nothing entered" true (Calendar.is_empty c)
+
+(* Same weak-array probe as the heap: popped payloads must be collectable
+   immediately, through resizes included. *)
+let test_calendar_releases_popped_payloads () =
+  let c = Calendar.create () in
+  let n = 64 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set weak i (Some payload);
+    Calendar.push c ~time:(Float.of_int i *. 3.7) payload
+  done;
+  for _ = 1 to n / 2 do
+    ignore (Calendar.pop c)
+  done;
+  Gc.full_major ();
+  for i = 0 to (n / 2) - 1 do
+    if Weak.check weak i then
+      Alcotest.failf "popped payload %d still reachable from the calendar" i
+  done;
+  Calendar.clear c;
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    if Weak.check weak i then Alcotest.failf "payload %d survived clear" i
+  done
+
+(* Differential law: on any interleaving of pushes and pops — times drawn
+   to force ties, sub-bucket clusters and wide spans — the calendar queue
+   pops exactly the heap's (time, seq) sequence. *)
+let arb_queue_workload =
+  let open QCheck in
+  let time_gen =
+    Gen.oneof
+      [
+        Gen.map Float.of_int (Gen.int_range 0 20) (* heavy ties *);
+        Gen.float_range 0. 1000.;
+        Gen.float_range 0. 0.001 (* clusters inside one bucket *);
+        Gen.float_range 0. 1e6 (* spans forcing empty-year scans *);
+      ]
+  in
+  let op_gen =
+    Gen.frequency
+      [ (3, Gen.map (fun t -> `Push t) time_gen); (2, Gen.return `Pop) ]
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function `Push t -> Printf.sprintf "push %h" t | `Pop -> "pop")
+         ops)
+  in
+  make ~print Gen.(list_size (int_range 0 400) op_gen)
+
+let prop_calendar_matches_heap =
+  QCheck.Test.make ~name:"calendar queue matches heap pop-for-pop" ~count:300
+    arb_queue_workload (fun ops ->
+      let h = Heap.create () and c = Calendar.create () in
+      let id = ref 0 in
+      let same_pop () =
+        match (Heap.pop h, Calendar.pop c) with
+        | None, None -> true
+        | Some (th, vh), Some (tc, vc) -> Float.equal th tc && vh = vc
+        | Some _, None | None, Some _ -> false
+      in
+      List.for_all
+        (function
+          | `Push t ->
+            incr id;
+            Heap.push h ~time:t !id;
+            Calendar.push c ~time:t !id;
+            true
+          | `Pop -> same_pop ())
+        ops
+      &&
+      (* Drain what is left, still pop-for-pop. *)
+      let rec drain () = if Heap.is_empty h then same_pop () else same_pop () && drain () in
+      drain ())
+
+(* The engine must execute the same schedule identically on either queue:
+   cascading events, ties, cancellations and the observer hook. *)
+let test_engine_calendar_matches_heap () =
+  let run queue =
+    let e = Engine.create ~queue () in
+    let log = Buffer.create 512 in
+    let g = Rng.create 11 in
+    let observed = ref 0 in
+    Engine.set_observer e (fun _ -> incr observed);
+    for i = 0 to 49 do
+      let t = Rng.float g *. 100. in
+      let h =
+        Engine.schedule_at e ~time:t (fun e ->
+            Buffer.add_string log (Printf.sprintf "%d@%h;" i (Engine.now e));
+            if i mod 5 = 0 then
+              ignore
+                (Engine.schedule e ~delay:1. (fun e ->
+                     Buffer.add_string log
+                       (Printf.sprintf "f%d@%h;" i (Engine.now e)))))
+      in
+      if i mod 7 = 3 then Engine.cancel h
+    done;
+    Engine.run e;
+    (Buffer.contents log, !observed, Engine.events_processed e)
+  in
+  let log_h, obs_h, n_h = run Engine.Heap in
+  let log_c, obs_c, n_c = run Engine.Calendar in
+  Alcotest.(check string) "identical execution trace" log_h log_c;
+  Alcotest.(check int) "identical observer count" obs_h obs_c;
+  Alcotest.(check int) "identical event count" n_h n_c
+
 let suite =
   [
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
@@ -244,5 +392,13 @@ let suite =
     Alcotest.test_case "engine event budget" `Quick test_engine_max_events;
     Alcotest.test_case "engine rejects past scheduling" `Quick test_engine_no_past_scheduling;
     Alcotest.test_case "M/M/1 against theory" `Slow test_mm1_against_theory;
+    Alcotest.test_case "heap drain churn" `Quick test_heap_drain_churn;
+    Alcotest.test_case "calendar rejects non-finite time" `Quick
+      test_calendar_rejects_nonfinite;
+    Alcotest.test_case "calendar releases popped payloads" `Quick
+      test_calendar_releases_popped_payloads;
+    Alcotest.test_case "engine: calendar matches heap" `Quick
+      test_engine_calendar_matches_heap;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_calendar_matches_heap;
   ]

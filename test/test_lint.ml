@@ -331,6 +331,39 @@ let test_parallel_merge_identical () =
           (render_json sequential) (render_json pooled)
       done)
 
+(* Regression for the serial-prefix fix: [lint_paths] used to read and
+   parse every file before the first rule check ran, so extra workers
+   only ever added pool overhead and [--jobs 4] benchmarked slower than
+   [--jobs 1]. With the parse inside each task, worker domains overlap
+   parsing with checking and 4 workers must not lose to 1. Wall-clock
+   comparison is only meaningful with real parallelism, so single-core
+   machines skip the assertion (the byte-identity test above still
+   runs). *)
+let test_parallel_jobs_speedup () =
+  if Domain.recommended_domain_count () >= 2 then
+    with_seeded_tree (fun dir ->
+        let time_of jobs =
+          let best = ref Float.infinity in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            ignore
+              (if jobs = 1 then Driver.lint_paths [ dir ]
+               else
+                 Driver.lint_paths
+                   ~map_tasks:(fun tasks ->
+                     Lopc_repro.Parallel.with_pool ~jobs (fun pool ->
+                         Lopc_repro.Parallel.run pool tasks))
+                   [ dir ]);
+            best := Float.min !best (Unix.gettimeofday () -. t0)
+          done;
+          !best
+        in
+        let serial = time_of 1 in
+        let parallel = time_of 4 in
+        if parallel >= serial then
+          Alcotest.failf "lint with 4 workers (%.1f ms) not faster than 1 (%.1f ms)"
+            (1000. *. parallel) (1000. *. serial))
+
 let suite =
   [
     Alcotest.test_case "float-equality fires" `Quick test_float_equality_fires;
@@ -356,4 +389,5 @@ let suite =
     Alcotest.test_case "json report" `Quick test_json_report;
     Alcotest.test_case "sarif report" `Quick test_sarif_report;
     Alcotest.test_case "parallel merge identical" `Quick test_parallel_merge_identical;
+    Alcotest.test_case "parallel jobs speedup" `Quick test_parallel_jobs_speedup;
   ]

@@ -133,6 +133,229 @@ let test_exact_machine_validation () =
       (fun () -> EM.all_to_all ~p:2 ~w:1. ~so:(-1.) ~st:1. ());
     ]
 
+(* --- differential reference: the seed solver ----------------------------- *)
+
+(* The pre-CSR solver in miniature: list-of-rows generator built by the
+   same BFS, and uniformized power iteration with successive-step
+   convergence and no renormalization. The qcheck law below pins the
+   sparse rewrite to this reference at the %.6g precision the artifact
+   tables print, over random chains including absorbing states,
+   self-loops and duplicate successors. *)
+module Seed_reference = struct
+  let solve ?(tol = 1e-12) ?(max_iter = 50_000) ~initial ~transitions () =
+    let index = Hashtbl.create 64 in
+    let count = ref 0 in
+    let id_of s =
+      match Hashtbl.find_opt index s with
+      | Some i -> i
+      | None ->
+        let i = !count in
+        Hashtbl.add index s i;
+        incr count;
+        i
+    in
+    ignore (id_of initial);
+    let rows = ref (Array.make 64 []) in
+    let ensure i =
+      if i >= Array.length !rows then begin
+        let fresh = Array.make (max (2 * Array.length !rows) (i + 1)) [] in
+        Array.blit !rows 0 fresh 0 (Array.length !rows);
+        rows := fresh
+      end
+    in
+    let frontier = Queue.create () in
+    Queue.push initial frontier;
+    while not (Queue.is_empty frontier) do
+      match Queue.take_opt frontier with
+      | None -> ()
+      | Some s ->
+        let i = id_of s in
+        ensure i;
+        let out =
+          List.filter_map
+            (fun (s', r) ->
+              if Float.equal r 0. then None
+              else begin
+                let before = !count in
+                let j = id_of s' in
+                if !count > before then Queue.push s' frontier;
+                if j = i then None else Some (j, r)
+              end)
+            (transitions s)
+        in
+        (!rows).(i) <- out
+    done;
+    let n = !count in
+    let rows = Array.sub !rows 0 n in
+    let out_rate =
+      Array.map (fun row -> List.fold_left (fun a (_, r) -> a +. r) 0. row) rows
+    in
+    let lambda = 1.01 *. Array.fold_left Float.max 1e-12 out_rate in
+    let pi = Array.make n (1. /. Float.of_int n) in
+    let next = Array.make n 0. in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < max_iter do
+      incr iter;
+      Array.fill next 0 n 0.;
+      for i = 0 to n - 1 do
+        next.(i) <- next.(i) +. (pi.(i) *. (1. -. (out_rate.(i) /. lambda)));
+        List.iter
+          (fun (j, rate) -> next.(j) <- next.(j) +. (pi.(i) *. rate /. lambda))
+          rows.(i)
+      done;
+      let diff = ref 0. in
+      for i = 0 to n - 1 do
+        diff := !diff +. Float.abs (next.(i) -. pi.(i));
+        pi.(i) <- next.(i)
+      done;
+      if !diff <= tol then converged := true
+    done;
+    (n, fun s -> match Hashtbl.find_opt index s with Some i -> pi.(i) | None -> 0.)
+end
+
+let arb_chain =
+  let open QCheck in
+  let print (n, rows) =
+    Printf.sprintf "n=%d; %s" n
+      (String.concat " | "
+         (List.mapi
+            (fun i row ->
+              Printf.sprintf "%d:[%s]" i
+                (String.concat ";"
+                   (List.map (fun (j, r) -> Printf.sprintf "%d@%g" j r) row)))
+            rows))
+  in
+  let gen =
+    let open Gen in
+    int_range 2 10 >>= fun n ->
+    list_size (return n)
+      (frequency
+         [
+           (1, return []) (* absorbing *);
+           ( 5,
+             list_size (int_range 1 4)
+               (pair (int_range 0 (n - 1)) (oneofl [ 0.5; 1.; 2.5; 7.; 50. ])) );
+         ])
+    >>= fun rows -> return (n, rows)
+  in
+  make ~print gen
+
+let prop_sparse_matches_seed =
+  QCheck.Test.make ~name:"ctmc: sparse power matches seed solver at %.6g" ~count:150
+    arb_chain
+    (fun (n, rows) ->
+      let transitions s = if s < n then List.nth rows s else [] in
+      let ref_n, ref_prob = Seed_reference.solve ~initial:0 ~transitions () in
+      match
+        Ctmc.solve_status ~iteration:Ctmc.Power ~max_iter:50_000 ~initial:0
+          ~transitions ()
+      with
+      | Some sol, _ ->
+        Ctmc.states sol = ref_n
+        && List.for_all
+             (fun s ->
+               String.equal
+                 (Printf.sprintf "%.6g" (ref_prob s))
+                 (Printf.sprintf "%.6g" (Ctmc.probability sol s)))
+             (List.init n Fun.id)
+      | None, _ -> false)
+
+(* Ring plus random chords: strongly connected by construction, so Auto
+   picks Gauss–Seidel and both methods must land on the same (unique)
+   stationary distribution. *)
+let arb_irreducible =
+  let open QCheck in
+  let print (n, ring, extra) =
+    Printf.sprintf "n=%d ring=[%s] extra=[%s]" n
+      (String.concat ";" (List.map (Printf.sprintf "%g") ring))
+      (String.concat ";"
+         (List.map (fun (i, j, r) -> Printf.sprintf "%d->%d@%g" i j r) extra))
+  in
+  let gen =
+    let open Gen in
+    int_range 2 8 >>= fun n ->
+    list_size (return n) (oneofl [ 0.3; 1.; 4.; 20. ]) >>= fun ring ->
+    list_size (int_range 0 (2 * n))
+      (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (oneofl [ 0.7; 2.; 9. ]))
+    >>= fun extra -> return (n, ring, extra)
+  in
+  make ~print gen
+
+let prop_gs_matches_power =
+  QCheck.Test.make ~name:"ctmc: gauss-seidel agrees with power on irreducible chains"
+    ~count:100 arb_irreducible
+    (fun (n, ring, extra) ->
+      let transitions s =
+        ((s + 1) mod n, List.nth ring s)
+        :: List.filter_map
+             (fun (i, j, r) -> if i = s && j <> s then Some (j, r) else None)
+             extra
+      in
+      let solve it =
+        match
+          Ctmc.solve_status ~iteration:it ~max_iter:100_000 ~initial:0 ~transitions
+            ()
+        with
+        | Some sol, Ctmc.Converged _ -> Some sol
+        | _ -> None
+      in
+      match (solve Ctmc.Power, solve Ctmc.Gauss_seidel) with
+      | Some a, Some b ->
+        List.for_all
+          (fun s ->
+            let pa = Ctmc.probability a s and pb = Ctmc.probability b s in
+            Float.abs (pa -. pb) <= 1e-8 +. (1e-6 *. Float.max pa pb))
+          (List.init n Fun.id)
+      | _ -> false)
+
+(* Regression for the renormalization bugfix: on a stiff cycle the power
+   iterate must remain a probability vector even when it cannot converge
+   within the sweep budget (historically [sum pi] drifted freely and the
+   reported diff was the raw successive step, not a residual). *)
+let test_ctmc_stiff_sum_pi () =
+  let transitions = function
+    | 0 -> [ (1, 1e6) ]
+    | 1 -> [ (2, 1.) ]
+    | _ -> [ (0, 1e-3) ]
+  in
+  (match
+     Ctmc.solve_status ~iteration:Ctmc.Power ~max_iter:2_000 ~initial:0
+       ~transitions ()
+   with
+  | Some sol, Ctmc.Not_converged { diff; _ } ->
+    Alcotest.(check bool) "residual above tol" true (diff > 1e-12);
+    Alcotest.(check bool) "sum pi = 1 within 1e-12" true
+      (Float.abs (Ctmc.sum_pi sol -. 1.) <= 1e-12)
+  | _, st -> Alcotest.failf "unexpected power status: %s" (Ctmc.status_to_string st));
+  match Ctmc.solve_status ~initial:0 ~transitions () with
+  | Some sol, Ctmc.Converged _ ->
+    Alcotest.(check bool) "sum pi after convergence" true
+      (Float.abs (Ctmc.sum_pi sol -. 1.) <= 1e-12);
+    (* Cycle balance: pi_i proportional to 1 / exit rate. *)
+    let z = 1e-6 +. 1. +. 1e3 in
+    feq 1e-9 "pi0" (1e-6 /. z) (Ctmc.probability sol 0);
+    feq 1e-9 "pi1" (1. /. z) (Ctmc.probability sol 1);
+    feq 1e-9 "pi2" (1e3 /. z) (Ctmc.probability sol 2)
+  | _, st -> Alcotest.failf "unexpected auto status: %s" (Ctmc.status_to_string st)
+
+(* Aitken-accelerated power must land on the Auto answer. *)
+let test_ctmc_aitken () =
+  let l = 2. and m = 3. and k = 5 in
+  let transitions n =
+    (if n < k then [ (n + 1, l) ] else []) @ if n > 0 then [ (n - 1, m) ] else []
+  in
+  let reference = Ctmc.solve ~initial:0 ~transitions () in
+  match Ctmc.solve_status ~iteration:Ctmc.Power_aitken ~initial:0 ~transitions () with
+  | Some sol, Ctmc.Converged _ ->
+    for n = 0 to k do
+      feq 1e-9
+        (Printf.sprintf "pi%d" n)
+        (Ctmc.probability reference n)
+        (Ctmc.probability sol n)
+    done
+  | _, st -> Alcotest.failf "unexpected status: %s" (Ctmc.status_to_string st)
+
 let suite =
   [
     Alcotest.test_case "ctmc: two-state chain" `Quick test_ctmc_two_state;
@@ -144,4 +367,9 @@ let suite =
     Alcotest.test_case "exact machine measures model error" `Slow test_exact_machine_measures_model_error;
     Alcotest.test_case "exact machine: utilization identities" `Quick test_exact_machine_littles_law;
     Alcotest.test_case "exact machine: validation" `Quick test_exact_machine_validation;
+    Alcotest.test_case "ctmc: stiff chain keeps sum pi = 1" `Quick
+      test_ctmc_stiff_sum_pi;
+    Alcotest.test_case "ctmc: aitken matches auto" `Quick test_ctmc_aitken;
+    QCheck_alcotest.to_alcotest prop_sparse_matches_seed;
+    QCheck_alcotest.to_alcotest prop_gs_matches_power;
   ]
